@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestParseFlows(t *testing.T) {
+	flows, err := parseFlows([]string{
+		"allreduce:3,4,5",
+		"reduce:1,2>5",
+		"multicast:0>4,5",
+		"unicast:0>7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 4 {
+		t.Fatalf("parsed %d flows", len(flows))
+	}
+	if len(flows[0].IPs) != 3 || len(flows[0].OPs) != 3 {
+		t.Fatalf("all-reduce parsed as %v", flows[0])
+	}
+	if len(flows[1].IPs) != 2 || flows[1].OPs[0] != 5 {
+		t.Fatalf("reduce parsed as %v", flows[1])
+	}
+	if flows[2].IPs[0] != 0 || len(flows[2].OPs) != 2 {
+		t.Fatalf("multicast parsed as %v", flows[2])
+	}
+	if flows[3].IPs[0] != 0 || flows[3].OPs[0] != 7 {
+		t.Fatalf("unicast parsed as %v", flows[3])
+	}
+}
+
+func TestParseFlowsErrors(t *testing.T) {
+	for _, bad := range []string{
+		"noseparator",
+		"frobnicate:1,2",
+		"reduce:1,2", // missing >
+		"unicast:a>b",
+		"allreduce:1,,2",
+	} {
+		if _, err := parseFlows([]string{bad}); err == nil {
+			t.Errorf("parseFlows(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePorts(t *testing.T) {
+	got, err := parsePorts(" 1, 2,3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parsePorts = %v", got)
+	}
+}

@@ -1,0 +1,162 @@
+// Command fredsim regenerates the tables and figures of the FRED
+// paper's evaluation on the simulator.
+//
+// Usage:
+//
+//	fredsim <experiment> [-ab] [-csv]
+//
+// Experiments:
+//
+//	fig2       Figure 2: Transformer-17B strategies on the baseline mesh
+//	fig9       Figure 9: communication microbenchmarks per fabric
+//	fig10      Figure 10: end-to-end training, all workloads (-ab adds Fred-A/B)
+//	fig11a     Figure 11(a): Transformer-17B strategy sweep, baseline vs Fred-D
+//	fig11b     Figure 11(b): Transformer-1T strategy sweep
+//	meshio     Section 3.2.1: mesh I/O hotspot law
+//	placement  Figure 5: device placement trade-off
+//	nonaligned Figure 6: non-aligned strategy congestion + heatmap
+//	scaling    extension: wafer-size scaling, mesh vs FRED tree
+//	inference  future work: auto-regressive decode latency
+//	hw         Tables 3-5: physical parameters and FRED overhead
+//	ablations  design-choice ablations (m, rings, buckets, bisection,
+//	           placement search, multi-wafer)
+//	ep         extension: beyond-3D parallelism (Expert Parallelism)
+//	all        everything above
+//
+// With -csv, tables are emitted as CSV instead of aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/wafernet/fred/internal/experiments"
+	"github.com/wafernet/fred/internal/parallelism"
+	"github.com/wafernet/fred/internal/report"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	includeAB := false
+	csv := false
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	fs.BoolVar(&includeAB, "ab", false, "include Fred-A and Fred-B in fig10")
+	fs.BoolVar(&csv, "csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(flag.Args()[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	emit := func(tbls ...*report.Table) {
+		for _, t := range tbls {
+			if csv {
+				fmt.Print(t.CSV())
+				fmt.Println()
+			} else {
+				fmt.Println(t)
+			}
+		}
+	}
+
+	run := func(name string) bool {
+		switch name {
+		case "fig1":
+			emit(experiments.Figure1(parallelism.Strategy{MP: 4, DP: 3, PP: 2}))
+		case "fig2":
+			_, tbl := experiments.Figure2()
+			emit(tbl)
+		case "fig9":
+			_, tbl := experiments.Figure9()
+			emit(tbl)
+		case "fig10":
+			_, tbl := experiments.Figure10(includeAB)
+			emit(tbl)
+		case "fig11a":
+			_, tbl := experiments.Figure11a()
+			emit(tbl)
+		case "fig11b":
+			_, tbl := experiments.Figure11b()
+			emit(tbl)
+		case "meshio":
+			_, tbl := experiments.MeshIOStudy()
+			emit(tbl)
+		case "placement":
+			_, tbl := experiments.PlacementStudy()
+			emit(tbl)
+		case "nonaligned":
+			_, tbl := experiments.NonAlignedStudy()
+			emit(tbl)
+		case "scaling":
+			_, tbl := experiments.ScalabilityStudy()
+			emit(tbl)
+		case "inference":
+			_, tbl := experiments.InferenceStudy()
+			emit(tbl)
+		case "summary":
+			_, tbl := experiments.Summary()
+			emit(tbl)
+		case "heat":
+			_, tbl := experiments.TrainingHeatmap(parallelism.Strategy{MP: 3, DP: 3, PP: 2})
+			emit(tbl)
+		case "packets":
+			_, tbl := experiments.PacketValidation()
+			emit(tbl)
+		case "batch":
+			_, tbl := experiments.BatchSensitivity()
+			emit(tbl)
+		case "profile":
+			emit(experiments.CommProfile(experiments.Baseline), experiments.CommProfile(experiments.FredD))
+		case "crossover":
+			_, tbl := experiments.CrossoverStudy()
+			emit(tbl)
+		case "ep":
+			_, tbl := experiments.EPStudy()
+			emit(tbl)
+		case "hw":
+			emit(experiments.HWTables()...)
+		case "ablations":
+			_, t1 := experiments.MiddleStageAblation()
+			_, t2 := experiments.RingDirectionAblation()
+			_, t3 := experiments.GradBucketAblation()
+			_, t4 := experiments.BisectionSweep()
+			_, t5 := experiments.MultiWaferStudy()
+			_, t6 := experiments.PlacementSearchAblation()
+			_, t7 := experiments.ScheduleAblation()
+			emit(t1, t2, t3, t4, t5, t6, t7)
+		default:
+			return false
+		}
+		return true
+	}
+
+	if cmd == "all" {
+		for _, name := range []string{
+			"hw", "fig1", "meshio", "placement", "nonaligned", "fig2", "fig9",
+			"fig10", "fig11a", "fig11b", "scaling", "inference", "crossover", "batch", "profile", "packets", "heat", "ablations", "ep", "summary",
+		} {
+			if !run(name) {
+				panic("internal: unknown experiment " + name)
+			}
+		}
+		return
+	}
+	if !run(cmd) {
+		fmt.Fprintf(os.Stderr, "fredsim: unknown experiment %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fredsim <experiment> [-ab] [-csv]
+
+experiments: fig1 fig2 fig9 fig10 fig11a fig11b meshio placement nonaligned
+             scaling inference crossover batch profile packets heat hw
+             ablations ep summary all`)
+}

@@ -1,0 +1,108 @@
+// Command fredtrain simulates one 3D-parallel training iteration with
+// every knob exposed: workload, fabric, strategy, minibatch, pipeline
+// schedule and DP bucketing.
+//
+// Usage:
+//
+//	fredtrain [-model t17b] [-system Fred-D] [-mp 3 -dp 3 -pp 2]
+//	          [-batch 16] [-schedule gpipe|1f1b] [-buckets 1] [-profile]
+//
+// Models: resnet152, t17b, gpt3, t1t.
+// Systems: Baseline, Fred-A, Fred-B, Fred-C, Fred-D.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	fredapi "github.com/wafernet/fred"
+	"github.com/wafernet/fred/internal/experiments"
+	"github.com/wafernet/fred/internal/training"
+	"github.com/wafernet/fred/internal/workload"
+)
+
+func main() {
+	modelName := flag.String("model", "t17b", "workload: resnet152, t17b, gpt3, t1t")
+	system := flag.String("system", "Fred-D", "fabric: Baseline, Fred-A..Fred-D")
+	mp := flag.Int("mp", 0, "model-parallel size (0: Table 6 default)")
+	dp := flag.Int("dp", 0, "data-parallel size")
+	pp := flag.Int("pp", 0, "pipeline size")
+	batch := flag.Int("batch", 16, "samples per DP replica")
+	schedule := flag.String("schedule", "gpipe", "pipeline schedule: gpipe or 1f1b")
+	buckets := flag.Int("buckets", 1, "DP gradient buckets (overlap granularity)")
+	profile := flag.Bool("profile", false, "print the per-class communication profile")
+	flag.Parse()
+
+	m, err := lookupModel(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fredtrain:", err)
+		os.Exit(2)
+	}
+	strat := fredapi.Strategy{MP: m.DefaultMP, DP: m.DefaultDP, PP: m.DefaultPP}
+	if *mp > 0 {
+		strat.MP = *mp
+	}
+	if *dp > 0 {
+		strat.DP = *dp
+	}
+	if *pp > 0 {
+		strat.PP = *pp
+	}
+	sched, err := lookupSchedule(*schedule)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fredtrain:", err)
+		os.Exit(2)
+	}
+
+	wafer := experiments.Build(experiments.System(*system))
+	r, err := training.Simulate(training.Config{
+		Wafer:               wafer,
+		Model:               m,
+		Strategy:            strat,
+		MinibatchPerReplica: *batch,
+		GradBuckets:         *buckets,
+		Schedule:            sched,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fredtrain:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s, %v, %d samples/replica, %s schedule\n",
+		m.Name, *system, strat, *batch, sched)
+	fmt.Printf("iteration: %s\n", r)
+	fmt.Printf("per sample: %.4g ms", r.PerSample*1e3)
+	if r.ActivationRecompute {
+		fmt.Printf("   (activation recomputation active)")
+	}
+	fmt.Println()
+	if *profile {
+		fmt.Printf("\ncommunication profile:\n%s", r.Comm)
+	}
+}
+
+func lookupModel(name string) (*workload.Model, error) {
+	switch strings.ToLower(name) {
+	case "resnet152", "resnet":
+		return workload.ResNet152(), nil
+	case "t17b", "transformer17b":
+		return workload.Transformer17B(), nil
+	case "gpt3":
+		return workload.GPT3(), nil
+	case "t1t", "transformer1t":
+		return workload.Transformer1T(), nil
+	}
+	return nil, fmt.Errorf("unknown model %q (resnet152, t17b, gpt3, t1t)", name)
+}
+
+func lookupSchedule(name string) (training.PipelineSchedule, error) {
+	switch strings.ToLower(name) {
+	case "gpipe":
+		return training.ScheduleGPipe, nil
+	case "1f1b":
+		return training.Schedule1F1B, nil
+	}
+	return 0, fmt.Errorf("unknown schedule %q (gpipe, 1f1b)", name)
+}

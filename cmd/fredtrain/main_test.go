@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestLookupModel(t *testing.T) {
+	for _, name := range []string{"resnet152", "t17b", "gpt3", "t1t", "RESNET", "Transformer17B"} {
+		if _, err := lookupModel(name); err != nil {
+			t.Errorf("lookupModel(%q): %v", name, err)
+		}
+	}
+	if _, err := lookupModel("bert"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestLookupSchedule(t *testing.T) {
+	if s, err := lookupSchedule("GPipe"); err != nil || s.String() != "GPipe" {
+		t.Errorf("gpipe lookup: %v %v", s, err)
+	}
+	if s, err := lookupSchedule("1f1b"); err != nil || s.String() != "1F1B" {
+		t.Errorf("1f1b lookup: %v %v", s, err)
+	}
+	if _, err := lookupSchedule("zero-bubble"); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package fred_test
+
+import (
+	"fmt"
+
+	fred "github.com/wafernet/fred"
+)
+
+// Route two concurrent all-reduce collectives through a FRED switch
+// and verify the data plane computes the right reductions — the
+// Figure 7(h) scenario of the paper.
+func ExampleSwitch_Route() {
+	sw := fred.NewSwitch(2, 8)
+	plan, err := sw.Route([]fred.Flow{
+		fred.AllReduce([]int{0, 1, 2}),
+		fred.AllReduce([]int{3, 4, 5}),
+	})
+	if err != nil {
+		panic(err)
+	}
+	out, err := plan.EvaluateSum(map[int]float64{0: 1, 1: 2, 2: 4, 3: 10, 4: 20, 5: 40})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out[0], out[1], out[2])
+	fmt.Println(out[3], out[4], out[5])
+	// Output:
+	// 7 7 7
+	// 70 70 70
+}
+
+// A routing conflict (Figure 7(j)): three mutually conflicting flows
+// cannot be 2-colored, but m = 3 routes them.
+func ExampleConflictError() {
+	flows := []fred.Flow{
+		fred.AllReduce([]int{1, 2}),
+		fred.AllReduce([]int{3, 4}),
+		fred.AllReduce([]int{0, 5}),
+	}
+	if _, err := fred.NewSwitch(2, 8).Route(flows); err != nil {
+		fmt.Println("m=2:", err)
+	}
+	if _, err := fred.NewSwitch(3, 8).Route(flows); err == nil {
+		fmt.Println("m=3: routed")
+	}
+	// Output:
+	// m=2: fred: routing conflict at level 0: flows [0 1 2] cannot be 2-colored
+	// m=3: routed
+}
+
+// Time a wafer-wide collective on the baseline mesh and on Fred-D.
+func ExamplePlatform_RunCollective() {
+	group := make([]int, 20)
+	for i := range group {
+		group[i] = i
+	}
+	base := fred.NewBaselineMesh()
+	tBase := base.RunCollective(base.Comm().AllReduce(group, 1.5e12))
+	fd := fred.NewFred(fred.SystemFredD)
+	tFred := fd.RunCollective(fd.Comm().AllReduce(group, 1.5e12))
+	fmt.Printf("mesh %.2fs, Fred-D %.2fs\n", tBase, tFred)
+	// Output:
+	// mesh 1.90s, Fred-D 0.50s
+}
+
+// Simulate one Transformer-17B training iteration under the paper's
+// Table 6 strategy.
+func ExampleSimulateTraining() {
+	m := fred.Transformer17B()
+	r, err := fred.SimulateTraining(fred.NewFred(fred.SystemFredD), m,
+		fred.Strategy{MP: 3, DP: 3, PP: 2}, 16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Total > 0 && r.Breakdown.Compute > 0)
+	// Output:
+	// true
+}

@@ -1,0 +1,39 @@
+// Training: simulate one 3D-parallel training iteration of
+// Transformer-17B (MP(3)-DP(3)-PP(2), the paper's Table 6 strategy) on
+// every Table 5 fabric and print the exposed-communication breakdown —
+// a single-workload slice of Figure 10.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fred "github.com/wafernet/fred"
+)
+
+func main() {
+	model := fred.Transformer17B()
+	strategy := fred.Strategy{MP: model.DefaultMP, DP: model.DefaultDP, PP: model.DefaultPP}
+	fmt.Printf("workload: %s, strategy %v, minibatch %d\n\n", model, strategy, strategy.DP*16)
+
+	systems := []fred.SystemName{
+		fred.SystemBaseline, fred.SystemFredA, fred.SystemFredB, fred.SystemFredC, fred.SystemFredD,
+	}
+	var base float64
+	fmt.Printf("%-9s %10s %10s %10s %10s %10s %8s\n",
+		"system", "total", "compute", "MP", "DP", "PP", "speedup")
+	for _, sys := range systems {
+		p := fred.NewPlatform(sys)
+		r, err := fred.SimulateTraining(p, model, strategy, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sys == fred.SystemBaseline {
+			base = r.Total
+		}
+		b := r.Breakdown
+		fmt.Printf("%-9s %9.2fms %9.2fms %9.2fms %9.2fms %9.2fms %7.2fx\n",
+			sys, r.Total*1e3, b.Compute*1e3, b.MP*1e3, b.DP*1e3, b.PP*1e3, base/r.Total)
+	}
+	fmt.Println("\npaper (Figure 10): Fred-C 1.75x, Fred-D 1.87x, Fred-A/B in between")
+}

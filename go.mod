@@ -1,0 +1,3 @@
+module github.com/wafernet/fred
+
+go 1.22

@@ -1,0 +1,190 @@
+package collective
+
+import (
+	"fmt"
+
+	"github.com/wafernet/fred/internal/netsim"
+	"github.com/wafernet/fred/internal/topology"
+)
+
+// Comm compiles collectives for a concrete wafer topology, selecting
+// the algorithm per Section 7.2: ring-based endpoint algorithms on the
+// mesh, the hierarchical 2D ring for non-in-network FRED variants
+// (Fred-A/C), and in-switch execution for Fred-B/D.
+type Comm struct {
+	w topology.Wafer
+}
+
+// NewComm returns a compiler for the given wafer.
+func NewComm(w topology.Wafer) *Comm { return &Comm{w: w} }
+
+// Wafer returns the topology the compiler targets.
+func (c *Comm) Wafer() topology.Wafer { return c.w }
+
+// AllReduce compiles an all-reduce of bytes across the group.
+func (c *Comm) AllReduce(group []int, bytes float64) Schedule {
+	if len(group) <= 1 || bytes <= 0 {
+		return Schedule{Name: "allreduce(noop)"}
+	}
+	switch w := c.w.(type) {
+	case *topology.Mesh:
+		return MeshAllReduce(w, group, bytes)
+	case *topology.FredFabric:
+		if w.InNetwork() {
+			return FredInNetworkAllReduce(w, group, bytes)
+		}
+		return FredEndpointAllReduce(w, group, bytes)
+	case *topology.FredTree:
+		if w.InNetwork() {
+			depth := 0.0
+			for _, a := range group {
+				if l := w.RouteLatency(group[0], a); l > depth {
+					depth = l
+				}
+			}
+			return Schedule{
+				Name: fmt.Sprintf("fredtree-innet-allreduce(%d)", len(group)),
+				Phases: []Phase{{Transfer{
+					Links:           w.InNetworkAllReduceLinks(group),
+					Bytes:           bytes,
+					LatencyOverride: depth,
+				}}},
+			}
+		}
+		return RingAllReduce(w, group, bytes, true)
+	}
+	panic(fmt.Sprintf("collective: unsupported wafer type %T", c.w))
+}
+
+// treeReduce compiles an in-switch reduce toward root on any router:
+// the union of each member's route to the root forms the reduction
+// tree.
+func treeReduce(r router, group []int, root int, bytes float64) Schedule {
+	s := Schedule{Name: "tree-reduce"}
+	var links []netsim.LinkID
+	seen := map[netsim.LinkID]bool{}
+	depth := 0.0
+	for _, m := range group {
+		if m == root {
+			continue
+		}
+		if l := routeLatency(r, m, root); l > depth {
+			depth = l
+		}
+		for _, l := range r.Route(m, root) {
+			if !seen[l] {
+				seen[l] = true
+				links = append(links, l)
+			}
+		}
+	}
+	if len(links) == 0 || bytes <= 0 {
+		return s
+	}
+	s.Phases = []Phase{{Transfer{Links: links, Bytes: bytes, LatencyOverride: depth}}}
+	return s
+}
+
+// ReduceScatter compiles a reduce-scatter of bytes across the group.
+func (c *Comm) ReduceScatter(group []int, bytes float64) Schedule {
+	if len(group) <= 1 || bytes <= 0 {
+		return Schedule{Name: "reducescatter(noop)"}
+	}
+	switch w := c.w.(type) {
+	case *topology.Mesh:
+		return MeshReduceScatter(w, group, bytes)
+	case *topology.FredFabric:
+		if w.InNetwork() {
+			return FredInNetworkReduceScatter(w, group, bytes)
+		}
+		return RingReduceScatter(w, group, bytes, true)
+	case *topology.FredTree:
+		if w.InNetwork() {
+			s := Schedule{Name: fmt.Sprintf("fredtree-innet-reducescatter(%d)", len(group))}
+			shard := bytes / float64(len(group))
+			for _, root := range group {
+				s.Phases = append(s.Phases, treeReduce(w, group, root, shard).Phases...)
+			}
+			return s
+		}
+		return RingReduceScatter(w, group, bytes, true)
+	}
+	panic(fmt.Sprintf("collective: unsupported wafer type %T", c.w))
+}
+
+// AllGather compiles an all-gather of bytes across the group.
+func (c *Comm) AllGather(group []int, bytes float64) Schedule {
+	if len(group) <= 1 || bytes <= 0 {
+		return Schedule{Name: "allgather(noop)"}
+	}
+	switch w := c.w.(type) {
+	case *topology.Mesh:
+		return MeshAllGather(w, group, bytes)
+	case *topology.FredFabric:
+		if w.InNetwork() {
+			return FredInNetworkAllGather(w, group, bytes)
+		}
+		return RingAllGather(w, group, bytes, true)
+	case *topology.FredTree:
+		if w.InNetwork() {
+			s := Schedule{Name: fmt.Sprintf("fredtree-innet-allgather(%d)", len(group))}
+			shard := bytes / float64(len(group))
+			for _, src := range group {
+				s.Phases = append(s.Phases, MulticastTree(w, src, group, shard).Phases...)
+			}
+			return s
+		}
+		return RingAllGather(w, group, bytes, true)
+	}
+	panic(fmt.Sprintf("collective: unsupported wafer type %T", c.w))
+}
+
+// AllToAll compiles an all-to-all where each member distributes bytes
+// across the group.
+func (c *Comm) AllToAll(group []int, bytes float64) Schedule {
+	return AllToAll(c.w, group, bytes)
+}
+
+// P2P compiles a point-to-point transfer.
+func (c *Comm) P2P(src, dst int, bytes float64) Schedule {
+	return Unicast(c.w, src, dst, bytes)
+}
+
+// Multicast compiles a one-to-many transfer: a forwarding tree on the
+// mesh (NPUs replicate at each hop) and on in-network FRED variants
+// (D-µswitches replicate in-switch); serial unicasts from the source
+// on endpoint-only FRED variants, whose switches cannot replicate.
+func (c *Comm) Multicast(src int, dsts []int, bytes float64) Schedule {
+	if bytes <= 0 {
+		return Schedule{Name: "multicast(noop)"}
+	}
+	if t, ok := c.w.(*topology.FredTree); ok && !t.InNetwork() {
+		s := Schedule{Name: fmt.Sprintf("multicast-unicasts(%d)", len(dsts))}
+		var ph Phase
+		for _, d := range dsts {
+			if d == src {
+				continue
+			}
+			ph = append(ph, Transfer{Links: t.Route(src, d), Bytes: bytes})
+		}
+		if len(ph) > 0 {
+			s.Phases = []Phase{ph}
+		}
+		return s
+	}
+	if f, ok := c.w.(*topology.FredFabric); ok && !f.InNetwork() {
+		s := Schedule{Name: fmt.Sprintf("multicast-unicasts(%d)", len(dsts))}
+		var ph Phase
+		for _, d := range dsts {
+			if d == src {
+				continue
+			}
+			ph = append(ph, Transfer{Links: f.Route(src, d), Bytes: bytes})
+		}
+		if len(ph) > 0 {
+			s.Phases = []Phase{ph}
+		}
+		return s
+	}
+	return MulticastTree(c.w, src, dsts, bytes)
+}

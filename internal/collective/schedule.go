@@ -1,0 +1,237 @@
+// Package collective implements the collective-communication
+// algorithms of Section 7.2 of the FRED paper as executable schedules
+// over a wafer topology:
+//
+//   - endpoint ring algorithms (uni- and bidirectional, with the
+//     "two concurrent chunks in reverse direction" of Kumar & Jouppi)
+//     over logical rings embedded in the 2D mesh;
+//   - the hierarchical 2D ring algorithm (BlueConnect-style) used by
+//     Fred-A/Fred-C, which reduces L1↔L2 traffic;
+//   - in-network collective execution (Fred-B/Fred-D), where each NPU
+//     injects D bytes once and the switch hierarchy reduces and
+//     broadcasts (Section 2.2, Section 6.1);
+//   - point-to-point and multicast transfers for pipeline parallelism,
+//     and all-to-all decompositions.
+//
+// A collective is compiled into a Schedule: an ordered list of phases,
+// each a set of concurrent Transfers (link sets + byte counts). An Op
+// executes a schedule on the flow-level network with a barrier between
+// phases, and supports pause/resume so the training simulator can
+// preempt lower-priority communication (Section 5.4).
+package collective
+
+import (
+	"fmt"
+
+	"github.com/wafernet/fred/internal/netsim"
+	"github.com/wafernet/fred/internal/sim"
+)
+
+// Transfer is one pipelined transfer: Bytes move across every link in
+// Links at a single rate (a path for unicast, a tree for
+// multicast/reduction).
+type Transfer struct {
+	Links []netsim.LinkID
+	Bytes float64
+	// LatencyOverride, when positive, replaces the default cut-through
+	// latency (the sum of the route's link latencies — correct for a
+	// path, an overestimate for trees and pipelined rings): tree
+	// transfers use their depth, pipelined rings their fill time
+	// (steps × hop latency).
+	LatencyOverride float64
+}
+
+// Phase is a set of transfers that proceed concurrently; the phase
+// completes when all of them have drained.
+type Phase []Transfer
+
+// Schedule is a compiled collective: phases execute serially.
+type Schedule struct {
+	Name   string
+	Phases []Phase
+}
+
+// TotalBytes returns the sum of bytes over all transfers — the total
+// traffic the collective injects into the fabric.
+func (s Schedule) TotalBytes() float64 {
+	total := 0.0
+	for _, ph := range s.Phases {
+		for _, t := range ph {
+			total += t.Bytes
+		}
+	}
+	return total
+}
+
+// LinkBytes returns the per-link traffic of the schedule.
+func (s Schedule) LinkBytes() map[netsim.LinkID]float64 {
+	out := make(map[netsim.LinkID]float64)
+	for _, ph := range s.Phases {
+		for _, t := range ph {
+			for _, l := range t.Links {
+				out[l] += t.Bytes
+			}
+		}
+	}
+	return out
+}
+
+// Empty reports whether the schedule moves no data.
+func (s Schedule) Empty() bool {
+	for _, ph := range s.Phases {
+		if len(ph) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// OpState describes an Op's lifecycle.
+type OpState int
+
+// Op lifecycle states.
+const (
+	OpRunning OpState = iota
+	OpPaused
+	OpDone
+)
+
+// Op is an in-flight collective operation.
+type Op struct {
+	net      *netsim.Network
+	sched    *sim.Scheduler
+	schedule Schedule
+	onDone   func(*Op)
+	phase    int
+	active   []*netsim.Flow
+	pendingN int
+	state    OpState
+	started  sim.Time
+	finished sim.Time
+}
+
+// Start begins executing a schedule on the network. onDone fires when
+// the final phase drains; it may start new work.
+func Start(net *netsim.Network, schedule Schedule, onDone func(*Op)) *Op {
+	op := &Op{
+		net:      net,
+		sched:    net.Scheduler(),
+		schedule: schedule,
+		onDone:   onDone,
+		started:  net.Scheduler().Now(),
+	}
+	op.startPhase()
+	return op
+}
+
+// State returns the op's lifecycle state.
+func (op *Op) State() OpState { return op.state }
+
+// Started returns the op's start time.
+func (op *Op) Started() sim.Time { return op.started }
+
+// Finished returns the completion time (valid once State is OpDone).
+func (op *Op) Finished() sim.Time { return op.finished }
+
+// Duration returns the elapsed simulated time of a completed op.
+func (op *Op) Duration() sim.Time { return op.finished - op.started }
+
+// Name returns the schedule name.
+func (op *Op) Name() string { return op.schedule.Name }
+
+func (op *Op) startPhase() {
+	for op.phase < len(op.schedule.Phases) && len(op.schedule.Phases[op.phase]) == 0 {
+		op.phase++
+	}
+	if op.phase >= len(op.schedule.Phases) {
+		op.complete()
+		return
+	}
+	phase := op.schedule.Phases[op.phase]
+	op.active = op.active[:0]
+	op.pendingN = len(phase)
+	for _, t := range phase {
+		if len(t.Links) == 0 {
+			panic(fmt.Sprintf("collective: %s: transfer with no links", op.schedule.Name))
+		}
+		lat := t.LatencyOverride
+		if lat <= 0 {
+			// Cut-through: pay the route latency once per transfer.
+			lat = -1
+		}
+		op.active = append(op.active, op.net.StartFlow(netsim.FlowSpec{
+			Links:   t.Links,
+			Bytes:   t.Bytes,
+			Latency: lat,
+			Label:   op.schedule.Name,
+			Done:    func(*netsim.Flow) { op.flowDone() },
+		}))
+	}
+}
+
+func (op *Op) flowDone() {
+	op.pendingN--
+	if op.pendingN == 0 && op.state == OpRunning {
+		op.phase++
+		op.startPhase()
+	}
+}
+
+func (op *Op) complete() {
+	op.state = OpDone
+	op.finished = op.sched.Now()
+	op.active = nil
+	if op.onDone != nil {
+		op.onDone(op)
+	}
+}
+
+// Pause preempts the op: all in-flight transfers release their
+// bandwidth and keep their progress (Section 5.4's circuit
+// reconfiguration: the higher-priority communication takes the
+// fabric). Pausing a finished op is a no-op.
+func (op *Op) Pause() {
+	if op.state != OpRunning {
+		return
+	}
+	op.state = OpPaused
+	for _, f := range op.active {
+		f.Pause()
+	}
+}
+
+// Resume restarts a paused op's in-flight transfers.
+func (op *Op) Resume() {
+	if op.state != OpPaused {
+		return
+	}
+	op.state = OpRunning
+	for _, f := range op.active {
+		f.Resume()
+	}
+}
+
+// RunToCompletion is a convenience for tests and microbenchmarks: it
+// starts the schedule on an otherwise idle network, drains the
+// scheduler, and returns the elapsed time.
+func RunToCompletion(net *netsim.Network, schedule Schedule) sim.Time {
+	start := net.Scheduler().Now()
+	var end sim.Time
+	Start(net, schedule, func(op *Op) { end = op.Finished() })
+	net.Scheduler().Run()
+	return end - start
+}
+
+// RunConcurrently starts several schedules at once on an idle network,
+// drains the scheduler, and returns each schedule's elapsed time —
+// used to measure contention between concurrent collectives.
+func RunConcurrently(net *netsim.Network, schedules []Schedule) []sim.Time {
+	times := make([]sim.Time, len(schedules))
+	start := net.Scheduler().Now()
+	for i, s := range schedules {
+		i := i
+		Start(net, s, func(op *Op) { times[i] = op.Finished() - start })
+	}
+	net.Scheduler().Run()
+	return times
+}

@@ -1,0 +1,97 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVerifyRingAllReduceSizes(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8, 16, 20} {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i * 3 // arbitrary member ids
+		}
+		if err := VerifyRingAllReduce(order); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestVerifyRingAllReduceTrivial(t *testing.T) {
+	if err := VerifyRingAllReduce(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRingAllReduce([]int{7}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyHierarchicalAllReduce(t *testing.T) {
+	// The FRED endpoint layout: 5 leaves × 4 members.
+	var groups [][]int
+	for l := 0; l < 5; l++ {
+		g := make([]int, 4)
+		for i := range g {
+			g[i] = l*4 + i
+		}
+		groups = append(groups, g)
+	}
+	if err := VerifyHierarchicalAllReduce(groups); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyHierarchicalRejectsUnequalGroups(t *testing.T) {
+	if err := VerifyHierarchicalAllReduce([][]int{{0, 1}, {2}}); err == nil {
+		t.Fatal("unequal groups accepted")
+	}
+}
+
+func TestVerifyAllToAllSizes(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 20} {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i + 100
+		}
+		if err := VerifyAllToAll(order); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// Property: the ring algorithm is correct for any member permutation.
+func TestPropertyRingCorrectForAnyOrder(t *testing.T) {
+	f := func(seed int64, nSel uint8) bool {
+		n := int(nSel%19) + 2
+		rng := rand.New(rand.NewSource(seed))
+		order := rng.Perm(100)[:n]
+		return VerifyRingAllReduce(order) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the hierarchical composition is correct for any (groups,
+// size) shape.
+func TestPropertyHierarchicalCorrect(t *testing.T) {
+	f := func(gSel, kSel uint8) bool {
+		g := int(gSel%5) + 1
+		k := int(kSel%5) + 1
+		var groups [][]int
+		id := 0
+		for i := 0; i < g; i++ {
+			grp := make([]int, k)
+			for j := range grp {
+				grp[j] = id
+				id++
+			}
+			groups = append(groups, grp)
+		}
+		return VerifyHierarchicalAllReduce(groups) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

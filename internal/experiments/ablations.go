@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/wafernet/fred/internal/collective"
+	"github.com/wafernet/fred/internal/fred"
+	"github.com/wafernet/fred/internal/multiwafer"
+	"github.com/wafernet/fred/internal/netsim"
+	"github.com/wafernet/fred/internal/parallelism"
+	"github.com/wafernet/fred/internal/placement"
+	"github.com/wafernet/fred/internal/report"
+	"github.com/wafernet/fred/internal/sim"
+	"github.com/wafernet/fred/internal/topology"
+	"github.com/wafernet/fred/internal/training"
+	"github.com/wafernet/fred/internal/workload"
+)
+
+// MiddleStageRow is one cell of the middle-stage/placement ablation.
+type MiddleStageRow struct {
+	M           int
+	Placement   string
+	SuccessRate float64
+}
+
+// MiddleStageAblation quantifies Section 5.3's design choices: the
+// probability that ALL concurrent all-reduce flows of a random 3D
+// strategy route conflict-free on a Fred_m(12) leaf switch, for
+// m = 2, 3, 4, under FRED's consecutive placement versus a random
+// placement. The paper picks m = 3 + consecutive placement because
+// that combination never conflicts.
+func MiddleStageAblation() ([]MiddleStageRow, *report.Table) {
+	const ports = 12
+	const trials = 300
+	rng := rand.New(rand.NewSource(42))
+	strategies := parallelism.EnumerateExact(ports)
+
+	routable := func(m int, random bool) float64 {
+		ok := 0
+		for trial := 0; trial < trials; trial++ {
+			s := strategies[rng.Intn(len(strategies))]
+			perm := make([]int, ports)
+			for i := range perm {
+				perm[i] = i
+			}
+			if random {
+				rng.Shuffle(ports, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			}
+			// Concurrent flows: one all-reduce per MP group (the
+			// simultaneous phase FRED must route).
+			var flows []fred.Flow
+			for _, g := range s.MPGroups() {
+				if len(g) < 2 {
+					continue
+				}
+				ports := make([]int, len(g))
+				for i, r := range g {
+					ports[i] = perm[r]
+				}
+				flows = append(flows, fred.AllReduce(ports))
+			}
+			if len(flows) == 0 {
+				ok++
+				continue
+			}
+			ic := fred.NewInterconnect(m, ports)
+			if _, err := ic.Route(flows); err == nil {
+				ok++
+			}
+		}
+		return float64(ok) / trials
+	}
+
+	tbl := &report.Table{
+		Title:  "Ablation: middle stages (m) x device placement — routing success of concurrent MP all-reduces on Fred_m(12)",
+		Header: []string{"m", "placement", "success"},
+	}
+	var rows []MiddleStageRow
+	for _, m := range []int{2, 3, 4} {
+		for _, random := range []bool{false, true} {
+			name := "consecutive"
+			if random {
+				name = "random"
+			}
+			r := MiddleStageRow{M: m, Placement: name, SuccessRate: routable(m, random)}
+			rows = append(rows, r)
+			tbl.AddRow(m, name, report.FormatFraction(r.SuccessRate))
+		}
+	}
+	tbl.AddNote("Section 5.3: m=3 with consecutive placement prevents routing conflicts for 3D parallelism")
+	return rows, tbl
+}
+
+// RingDirectionRow compares uni- and bidirectional rings.
+type RingDirectionRow struct {
+	Group                         int
+	Unidirectional, Bidirectional float64
+}
+
+// RingDirectionAblation measures the "two concurrent chunks in reverse
+// direction" optimization of Section 7.2 on the baseline mesh: the
+// bidirectional ring should be ~2× faster for wafer-wide groups.
+func RingDirectionAblation() ([]RingDirectionRow, *report.Table) {
+	tbl := &report.Table{
+		Title:  "Ablation: ring direction on baseline mesh (1 GB all-reduce)",
+		Header: []string{"group", "unidirectional", "bidirectional", "gain"},
+	}
+	var rows []RingDirectionRow
+	for _, n := range []int{4, 10, 20} {
+		group := make([]int, n)
+		for i := range group {
+			group[i] = i
+		}
+		mkMesh := func() *topology.Mesh {
+			return Build(Baseline).(*topology.Mesh)
+		}
+		m1 := mkMesh()
+		order := collective.SnakeOrder(m1, group)
+		if n == m1.NPUCount() {
+			order = collective.HamiltonianRing(m1)
+		}
+		uni := collective.RunToCompletion(m1.Network(), collective.RingAllReduce(m1, order, 1e9, false))
+		m2 := mkMesh()
+		order2 := collective.SnakeOrder(m2, group)
+		if n == m2.NPUCount() {
+			order2 = collective.HamiltonianRing(m2)
+		}
+		bi := collective.RunToCompletion(m2.Network(), collective.RingAllReduce(m2, order2, 1e9, true))
+		rows = append(rows, RingDirectionRow{Group: n, Unidirectional: uni, Bidirectional: bi})
+		tbl.AddRow(n, uni, bi, report.FormatX(uni/bi))
+	}
+	return rows, tbl
+}
+
+// GradBucketRow is one point of the DP-overlap ablation.
+type GradBucketRow struct {
+	Buckets   int
+	ExposedDP float64
+	Total     float64
+}
+
+// GradBucketAblation sweeps the DP gradient-bucket count on ResNet-152
+// (baseline mesh): more buckets overlap DP synchronisation with the
+// backward tail, shrinking exposed DP below the paper's unbucketed
+// model.
+func GradBucketAblation() ([]GradBucketRow, *report.Table) {
+	tbl := &report.Table{
+		Title:  "Ablation: DP gradient buckets, ResNet-152 on baseline mesh",
+		Header: []string{"buckets", "exposed DP", "total"},
+	}
+	m := workload.ResNet152()
+	var rows []GradBucketRow
+	for _, nb := range []int{1, 2, 4, 8, 16} {
+		r := training.MustSimulate(training.Config{
+			Wafer:               Build(Baseline),
+			Model:               m,
+			Strategy:            parallelism.Strategy{MP: 1, DP: 20, PP: 1},
+			MinibatchPerReplica: 16,
+			GradBuckets:         nb,
+		})
+		rows = append(rows, GradBucketRow{Buckets: nb, ExposedDP: r.Breakdown.DP, Total: r.Total})
+		tbl.AddRow(nb, r.Breakdown.DP, r.Total)
+	}
+	return rows, tbl
+}
+
+// BisectionRow is one point of the L1-L2 bandwidth sweep.
+type BisectionRow struct {
+	L1L2BW    float64
+	Bisection float64
+	Total     float64
+}
+
+// BisectionSweep varies the FRED fabric's L1↔L2 bandwidth between the
+// Fred-A/B point (1.5 TB/s) and the Fred-C/D point (12 TB/s) and
+// reports Transformer-17B iteration time with in-network collectives —
+// showing where extra bisection stops paying.
+func BisectionSweep() ([]BisectionRow, *report.Table) {
+	tbl := &report.Table{
+		Title:  "Ablation: L1-L2 bandwidth sweep (Transformer-17B, in-network)",
+		Header: []string{"L1-L2 BW", "bisection", "iteration"},
+	}
+	m := workload.Transformer17B()
+	var rows []BisectionRow
+	for _, bw := range []float64{1.5e12, 3e12, 6e12, 12e12, 24e12} {
+		cfg := topology.FredVariantConfig(topology.FredD)
+		cfg.L1L2BW = bw
+		w := topology.NewFredFabric(netOf(), cfg)
+		r := training.MustSimulate(training.Config{
+			Wafer:               w,
+			Model:               m,
+			Strategy:            parallelism.Strategy{MP: 3, DP: 3, PP: 2},
+			MinibatchPerReplica: 16,
+		})
+		rows = append(rows, BisectionRow{L1L2BW: bw, Bisection: w.BisectionBW(), Total: r.Total})
+		tbl.AddRow(report.FormatBW(bw), report.FormatBW(w.BisectionBW()), r.Total)
+	}
+	return rows, tbl
+}
+
+// MultiWaferRow compares global all-reduce designs.
+type MultiWaferRow struct {
+	Wafers       int
+	Hierarchical float64
+	Naive        float64
+}
+
+// MultiWaferStudy runs the Section 8.3 inter-wafer discussion: the
+// hierarchical boundary-parallel global all-reduce versus the naive
+// single-leader exchange, over wafer counts.
+func MultiWaferStudy() ([]MultiWaferRow, *report.Table) {
+	tbl := &report.Table{
+		Title:  "Extension: multi-wafer global all-reduce (10 GB, Fred-D wafers, 18 x 128 GB/s ports)",
+		Header: []string{"wafers", "hierarchical", "naive leader", "gain"},
+	}
+	var rows []MultiWaferRow
+	for _, wn := range []int{2, 4, 8} {
+		cfg := multiwafer.DefaultConfig()
+		cfg.Wafers = wn
+		sh := multiwafer.New(cfg)
+		hier := sh.Run(sh.GlobalAllReduce(10e9))
+		sn := multiwafer.New(cfg)
+		naive := sn.Run(sn.NaiveAllReduce(10e9))
+		rows = append(rows, MultiWaferRow{Wafers: wn, Hierarchical: hier, Naive: naive})
+		tbl.AddRow(wn, hier, naive, report.FormatX(naive/hier))
+	}
+	tbl.AddNote("the hierarchical form spreads the inter-wafer exchange over all boundary NPUs (Section 8.3)")
+	return rows, tbl
+}
+
+// netOf builds a fresh network on its own scheduler.
+func netOf() *netsim.Network { return netsim.New(sim.NewScheduler()) }
+
+// PlacementSearchRow compares the default and searched placements.
+type PlacementSearchRow struct {
+	Strategy  parallelism.Strategy
+	Placement string
+	Cost      float64
+	Time      float64 // concurrent all-dimension comm makespan (1 GB)
+}
+
+// PlacementSearchAblation runs Section 5.3's "intelligent device
+// placement" on the baseline mesh: random-restart hill climbing over
+// the congestion cost, compared with the default MP-first placement,
+// for an aligned and a non-aligned strategy. Search softens mesh
+// congestion but cannot remove the Section 3.2.2 trade-off; FRED's
+// consecutive placement needs no search at all.
+func PlacementSearchAblation() ([]PlacementSearchRow, *report.Table) {
+	tbl := &report.Table{
+		Title:  "Ablation: intelligent device placement on the baseline mesh",
+		Header: []string{"strategy", "placement", "cost", "concurrent comm (1GB)"},
+	}
+	var rows []PlacementSearchRow
+	measure := func(s parallelism.Strategy, name string, p placement.Placement) {
+		w := Build(Baseline)
+		cost := placement.Cost(w, s, p)
+		comm := collective.NewComm(w)
+		var scheds []collective.Schedule
+		for _, g := range s.MPGroups() {
+			if len(g) > 1 {
+				scheds = append(scheds, comm.AllReduce(p.NPUs(g), 1e9))
+			}
+		}
+		for _, g := range s.DPGroups() {
+			if len(g) > 1 {
+				scheds = append(scheds, comm.AllReduce(p.NPUs(g), 1e9))
+			}
+		}
+		times := collective.RunConcurrently(w.Network(), scheds)
+		max := 0.0
+		for _, t := range times {
+			if t > max {
+				max = t
+			}
+		}
+		row := PlacementSearchRow{Strategy: s, Placement: name, Cost: cost, Time: max}
+		rows = append(rows, row)
+		tbl.AddRow(s.String(), name, fmt.Sprintf("%.0f", cost), max)
+	}
+	for _, s := range []parallelism.Strategy{
+		{MP: 2, DP: 5, PP: 2},
+		{MP: 5, DP: 3, PP: 1}, // non-aligned (Figure 6)
+	} {
+		measure(s, "default", placement.MeshDefault(s))
+		opt, _ := placement.Optimize(Build(Baseline), s, 6, 24, 11)
+		measure(s, "searched", opt)
+	}
+	tbl.AddNote("search narrows mesh congestion but the Section 3.2.2 trade-off remains; FRED needs no search")
+	return rows, tbl
+}
+
+// ScheduleRow compares pipeline schedules.
+type ScheduleRow struct {
+	Strategy  parallelism.Strategy
+	Schedule  string
+	Total     float64
+	Recompute bool
+}
+
+// ScheduleAblation contrasts the paper's GPipe pipeline with 1F1B on
+// Fred-D: the schedules move identical work, but 1F1B's bounded
+// in-flight microbatches can duck under the HBM limit where GPipe's
+// flush forces activation recomputation.
+func ScheduleAblation() ([]ScheduleRow, *report.Table) {
+	tbl := &report.Table{
+		Title:  "Ablation: pipeline schedule (GPipe vs 1F1B), Transformer-17B on Fred-D, batch 40/replica",
+		Header: []string{"strategy", "schedule", "iteration", "recompute"},
+	}
+	m := workload.Transformer17B()
+	var rows []ScheduleRow
+	for _, s := range []parallelism.Strategy{
+		{MP: 3, DP: 3, PP: 2},
+		{MP: 1, DP: 2, PP: 4},
+		{MP: 1, DP: 2, PP: 10},
+	} {
+		for _, sched := range []training.PipelineSchedule{training.ScheduleGPipe, training.Schedule1F1B} {
+			r := training.MustSimulate(training.Config{
+				Wafer:               Build(FredD),
+				Model:               m,
+				Strategy:            s,
+				MinibatchPerReplica: 40,
+				Schedule:            sched,
+			})
+			row := ScheduleRow{Strategy: s, Schedule: sched.String(), Total: r.Total, Recompute: r.ActivationRecompute}
+			rows = append(rows, row)
+			tbl.AddRow(s.String(), sched.String(), r.Total, fmt.Sprint(r.ActivationRecompute))
+		}
+	}
+	tbl.AddNote("1F1B keeps at most PP-stage microbatches resident, avoiding GPipe's recompute at deep PP")
+	return rows, tbl
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"github.com/wafernet/fred/internal/collective"
+	"github.com/wafernet/fred/internal/parallelism"
+	"github.com/wafernet/fred/internal/report"
+)
+
+// EPRow is one configuration of the beyond-3D-parallelism study.
+type EPRow struct {
+	Name      string
+	Dims      int // active parallelism dimensions
+	MeshTime  float64
+	FredTime  float64
+	FredDGain float64
+}
+
+// EPStudy quantifies the paper's Section 8.3 claim that adding
+// parallelization dimensions (here Expert Parallelism, whose peers
+// exchange tokens via all-to-all) increases congestion on the baseline
+// mesh while FRED keeps serving every group at port bandwidth. For
+// each strategy, the concurrent communications of ALL dimensions (MP
+// and EP at 1 GB per group member, DP at 1 GB) are launched together
+// and the makespan measured on the mesh and on Fred-D.
+func EPStudy() ([]EPRow, *report.Table) {
+	tbl := &report.Table{
+		Title:  "Extension: beyond 3D parallelism — concurrent multi-dimension comm, mesh vs Fred-D",
+		Header: []string{"strategy", "active dims", "mesh", "Fred-D", "gain"},
+	}
+	type cfg struct {
+		name string
+		dims int
+		mp   [][]int
+		ep   [][]int
+		dp   [][]int
+	}
+	// Build group sets from strategies on 20 workers.
+	mk3 := func(s parallelism.Strategy) cfg {
+		dims := 0
+		for _, d := range []int{s.MP, s.DP, s.PP} {
+			if d > 1 {
+				dims++
+			}
+		}
+		return cfg{name: s.String(), dims: dims, mp: s.MPGroups(), dp: s.DPGroups()}
+	}
+	mk4 := func(s parallelism.Strategy4D) cfg {
+		dims := 0
+		for _, d := range []int{s.MP, s.DP, s.PP, s.EP} {
+			if d > 1 {
+				dims++
+			}
+		}
+		return cfg{name: s.String(), dims: dims, mp: s.MPGroups(), ep: s.EPGroups(), dp: s.DPGroups()}
+	}
+	cases := []cfg{
+		mk3(parallelism.Strategy{MP: 2, DP: 10, PP: 1}),
+		mk3(parallelism.Strategy{MP: 2, DP: 5, PP: 2}),
+		mk4(parallelism.Strategy4D{MP: 2, EP: 2, DP: 5, PP: 1}),
+		mk4(parallelism.Strategy4D{MP: 2, EP: 5, DP: 2, PP: 1}),
+		mk4(parallelism.Strategy4D{MP: 2, EP: 2, DP: 5, PP: 1}),
+	}
+	// Deduplicate repeated configs while keeping order.
+	seen := map[string]bool{}
+	var rows []EPRow
+	for _, c := range cases {
+		if seen[c.name] {
+			continue
+		}
+		seen[c.name] = true
+		measure := func(sys System) float64 {
+			w := Build(sys)
+			comm := collective.NewComm(w)
+			var scheds []collective.Schedule
+			for _, g := range c.mp {
+				if len(g) > 1 {
+					scheds = append(scheds, comm.AllReduce(g, 1e9))
+				}
+			}
+			for _, g := range c.ep {
+				if len(g) > 1 {
+					scheds = append(scheds, comm.AllToAll(g, 1e9))
+				}
+			}
+			for _, g := range c.dp {
+				if len(g) > 1 {
+					scheds = append(scheds, comm.AllReduce(g, 1e9))
+				}
+			}
+			times := collective.RunConcurrently(w.Network(), scheds)
+			max := 0.0
+			for _, t := range times {
+				if t > max {
+					max = t
+				}
+			}
+			return max
+		}
+		row := EPRow{Name: c.name, Dims: c.dims}
+		row.MeshTime = measure(Baseline)
+		row.FredTime = measure(FredD)
+		row.FredDGain = row.MeshTime / row.FredTime
+		rows = append(rows, row)
+		tbl.AddRow(c.name, c.dims, row.MeshTime, row.FredTime, report.FormatX(row.FredDGain))
+	}
+	tbl.AddNote("Section 8.3: more parallelism dimensions raise mesh congestion; FRED's gain grows with dimension count")
+	return rows, tbl
+}

@@ -1,0 +1,90 @@
+package fred
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the interconnect as a Graphviz digraph: µswitch
+// elements as boxes grouped by recursion level, wires as edges, and
+// external ports as ovals. When plan is non-nil, elements whose
+// reduction/distribution features are active are highlighted the way
+// Figure 7(h) highlights them (R red, D blue, RD purple), and wires
+// carrying a routed flow are colored per flow.
+func (ic *Interconnect) WriteDOT(w io.Writer, plan *Plan) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph fred {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+
+	feature := map[int]string{}
+	wireFlow := map[[2]int]int{} // (elemID, outPort) → flow id
+	if plan != nil {
+		for id, conns := range plan.config {
+			for _, c := range conns {
+				switch {
+				case c.Reduces() && c.Distributes():
+					feature[id] = "RD"
+				case c.Reduces():
+					if feature[id] != "RD" {
+						feature[id] = "R"
+					}
+				case c.Distributes():
+					if feature[id] != "RD" {
+						feature[id] = "D"
+					}
+				}
+				for _, out := range c.Out {
+					wireFlow[[2]int{id, out}] = c.Flow
+				}
+			}
+		}
+	}
+	flowColor := func(flow int) string {
+		palette := []string{"forestgreen", "darkorange", "dodgerblue", "crimson", "purple", "teal"}
+		return palette[flow%len(palette)]
+	}
+
+	for _, e := range ic.Elements() {
+		attrs := fmt.Sprintf("label=\"%s\\n%s\"", e.Label, e.Kind)
+		switch feature[e.ID] {
+		case "R":
+			attrs += ", style=filled, fillcolor=lightcoral"
+		case "D":
+			attrs += ", style=filled, fillcolor=lightblue"
+		case "RD":
+			attrs += ", style=filled, fillcolor=plum"
+		}
+		fmt.Fprintf(&b, "  e%d [%s];\n", e.ID, attrs)
+	}
+	for i := 0; i < ic.p; i++ {
+		fmt.Fprintf(&b, "  in%d [shape=oval, label=\"in %d\"];\n", i, i)
+		fmt.Fprintf(&b, "  out%d [shape=oval, label=\"out %d\"];\n", i, i)
+	}
+	for i, wire := range ic.inWire {
+		fmt.Fprintf(&b, "  in%d -> e%d;\n", i, wire.Elem)
+	}
+	// Deterministic edge order.
+	ids := make([]int, 0, len(ic.elements))
+	for _, e := range ic.elements {
+		ids = append(ids, e.ID)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		e := ic.element(id)
+		for port, wire := range e.OutWire {
+			attr := ""
+			if flow, ok := wireFlow[[2]int{id, port}]; ok {
+				attr = fmt.Sprintf(" [color=%s, penwidth=2]", flowColor(flow))
+			}
+			if wire.Elem < 0 {
+				fmt.Fprintf(&b, "  e%d -> out%d%s;\n", id, wire.Ext, attr)
+			} else {
+				fmt.Fprintf(&b, "  e%d -> e%d%s;\n", id, wire.Elem, attr)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

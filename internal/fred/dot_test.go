@@ -1,0 +1,64 @@
+package fred
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTStructure(t *testing.T) {
+	ic := NewInterconnect(2, 8)
+	var b strings.Builder
+	if err := ic.WriteDOT(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "digraph fred {") || !strings.HasSuffix(out, "}\n") {
+		t.Fatal("not a digraph")
+	}
+	// Every element and every external port appears.
+	for _, e := range ic.Elements() {
+		if !strings.Contains(out, e.Label) {
+			t.Fatalf("missing element %s", e.Label)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if !strings.Contains(out, "in "+string(rune('0'+i))) {
+			t.Fatalf("missing input port %d", i)
+		}
+	}
+}
+
+func TestWriteDOTHighlightsFeatures(t *testing.T) {
+	ic := NewInterconnect(2, 8)
+	plan := ic.MustRoute([]Flow{AllReduce([]int{0, 1, 2}), AllReduce([]int{3, 4, 5})})
+	var b strings.Builder
+	if err := ic.WriteDOT(&b, plan); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "lightcoral") {
+		t.Error("no R highlight")
+	}
+	if !strings.Contains(out, "lightblue") {
+		t.Error("no D highlight")
+	}
+	if !strings.Contains(out, "penwidth=2") {
+		t.Error("no flow-colored wires")
+	}
+}
+
+func TestWriteDOTEdgeCountMatchesWires(t *testing.T) {
+	ic := NewInterconnect(3, 11)
+	var b strings.Builder
+	if err := ic.WriteDOT(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	gotEdges := strings.Count(b.String(), " -> ")
+	wantEdges := 11 // external inputs
+	for _, e := range ic.Elements() {
+		wantEdges += e.Out
+	}
+	if gotEdges != wantEdges {
+		t.Fatalf("edges = %d, want %d", gotEdges, wantEdges)
+	}
+}

@@ -1,0 +1,185 @@
+package fred
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PortSet is a set of external input port indices, used by the
+// data-plane tracer to track which inputs contributed to each output.
+type PortSet map[int]bool
+
+// Sorted returns the set's members in ascending order.
+func (s PortSet) Sorted() []int {
+	out := make([]int, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Equal reports whether two sets hold the same ports.
+func (s PortSet) Equal(other PortSet) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for p := range s {
+		if !other[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func portSetOf(ports []int) PortSet {
+	s := make(PortSet, len(ports))
+	for _, p := range ports {
+		s[p] = true
+	}
+	return s
+}
+
+// Trace pushes provenance tokens through the configured interconnect:
+// every external input port that belongs to some routed flow injects
+// the singleton set {port}; each configured connection unions the sets
+// on its input ports and copies the result to its output ports. The
+// returned map gives, for every reached external output port, exactly
+// which external inputs were reduced into it — the ground truth for
+// verifying that a routing plan computes its collectives correctly.
+func (p *Plan) Trace() (map[int]PortSet, error) {
+	type portKey struct{ elem, port int }
+	values := make(map[portKey]PortSet)
+	results := make(map[int]PortSet)
+
+	var deliver func(w Wire, v PortSet) error
+	pending := true
+	deliver = func(w Wire, v PortSet) error {
+		if w.Elem < 0 {
+			if prev, ok := results[w.Ext]; ok && !prev.Equal(v) {
+				return fmt.Errorf("fred: external output %d received two different values", w.Ext)
+			}
+			results[w.Ext] = v
+			return nil
+		}
+		k := portKey{w.Elem, w.Port}
+		if prev, ok := values[k]; ok && !prev.Equal(v) {
+			return fmt.Errorf("fred: element %s input %d received two different values",
+				p.ic.element(w.Elem).Label, w.Port)
+		}
+		values[k] = v
+		pending = true
+		return nil
+	}
+
+	// Inject external inputs for every routed flow.
+	for _, f := range p.flows {
+		for _, port := range f.IPs {
+			if err := deliver(p.ic.inWire[port], PortSet{port: true}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	fired := make(map[portKey]bool) // (elem, connection index) keyed by first input port
+	for pending {
+		pending = false
+		for elemID, conns := range p.config {
+			e := p.ic.element(elemID)
+			for ci, c := range conns {
+				key := portKey{elemID, -1 - ci} // unique per connection
+				if fired[key] {
+					continue
+				}
+				merged := make(PortSet)
+				ready := true
+				for _, in := range c.In {
+					v, ok := values[portKey{elemID, in}]
+					if !ok {
+						ready = false
+						break
+					}
+					for port := range v {
+						merged[port] = true
+					}
+				}
+				if !ready {
+					continue
+				}
+				fired[key] = true
+				for _, out := range c.Out {
+					if err := deliver(e.OutWire[out], merged); err != nil {
+						return nil, err
+					}
+				}
+				pending = true
+			}
+		}
+	}
+	return results, nil
+}
+
+// Verify traces the plan's data plane and checks that every flow
+// delivers the reduction of exactly its input ports to exactly its
+// output ports — no more, no less, and nothing leaks to ports outside
+// any flow.
+func (p *Plan) Verify() error {
+	results, err := p.Trace()
+	if err != nil {
+		return err
+	}
+	expected := make(map[int]PortSet)
+	for i, f := range p.flows {
+		want := portSetOf(f.IPs)
+		for _, op := range f.OPs {
+			if _, dup := expected[op]; dup {
+				return fmt.Errorf("fred: output port %d claimed by two flows", op)
+			}
+			expected[op] = want
+		}
+		_ = i
+	}
+	for op, want := range expected {
+		got, ok := results[op]
+		if !ok {
+			return fmt.Errorf("fred: output port %d received nothing, want inputs %v", op, want.Sorted())
+		}
+		if !got.Equal(want) {
+			return fmt.Errorf("fred: output port %d received inputs %v, want %v",
+				op, got.Sorted(), want.Sorted())
+		}
+	}
+	for op := range results {
+		if _, ok := expected[op]; !ok {
+			return fmt.Errorf("fred: output port %d received data but belongs to no flow", op)
+		}
+	}
+	return nil
+}
+
+// EvaluateSum pushes numeric values through the configured
+// interconnect with addition as the reduction operator, returning the
+// value delivered at each reached external output. Inputs must supply
+// a value for every input port of every routed flow.
+func (p *Plan) EvaluateSum(inputs map[int]float64) (map[int]float64, error) {
+	for _, f := range p.flows {
+		for _, port := range f.IPs {
+			if _, ok := inputs[port]; !ok {
+				return nil, fmt.Errorf("fred: no input value for port %d of flow %v", port, f)
+			}
+		}
+	}
+	sets, err := p.Trace()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64, len(sets))
+	for op, set := range sets {
+		sum := 0.0
+		for port := range set {
+			sum += inputs[port]
+		}
+		out[op] = sum
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package fred
+
+import "fmt"
+
+// FlitSim is a cycle-accurate model of a routed FRED interconnect's
+// data path. Each µswitch element forwards one flit per cycle per
+// connection; a reducing connection consumes flit i from EVERY input
+// port before emitting the combined flit i. Input ports inject one
+// flit per cycle.
+//
+// It exists to demonstrate the paper's Section 9 distinction: because
+// FRED performs reductions in multiple steps inside the interconnect
+// (at the µswitches, during routing), the switch sustains line rate
+// with µswitches that run at link speed — whereas architectures that
+// reduce only at the output port need internal speedups of 2× to P×.
+type FlitSim struct {
+	ic   *Interconnect
+	plan *Plan
+}
+
+// NewFlitSim builds a simulator for a routed plan.
+func NewFlitSim(plan *Plan) *FlitSim { return &FlitSim{ic: plan.ic, plan: plan} }
+
+// FlitStats reports a streaming run.
+type FlitStats struct {
+	// FirstArrival[port] is the cycle the first flit exits an external
+	// output — the pipeline depth seen by that port.
+	FirstArrival map[int]int
+	// LastArrival[port] is the cycle the final flit exits.
+	LastArrival map[int]int
+	// Flits is the number of flits streamed per input port.
+	Flits int
+	// MaxQueueDepth is the deepest any element input queue grew — with
+	// matched injection and drain rates it stays at 1 (the paper's
+	// credit flow control needs only per-hop buffers).
+	MaxQueueDepth int
+	// Cycles is the total simulated cycle count.
+	Cycles int
+}
+
+// Throughput returns the steady-state flits per cycle delivered at an
+// output port (1.0 = line rate).
+func (st FlitStats) Throughput(port int) float64 {
+	first, ok := st.FirstArrival[port]
+	if !ok {
+		return 0
+	}
+	last := st.LastArrival[port]
+	if last == first {
+		return 1
+	}
+	return float64(st.Flits-1) / float64(last-first)
+}
+
+// Run streams nFlits flits into every active input port and simulates
+// until every output of every flow has drained. It panics if the
+// simulation fails to make progress (a cyclic or inconsistent
+// configuration — impossible for plans produced by Route).
+func (f *FlitSim) Run(nFlits int) FlitStats {
+	if nFlits <= 0 {
+		panic("fred: need at least one flit")
+	}
+	type portKey struct{ elem, port int }
+	// queues[k] holds the next flit index expected... we track counts:
+	// since flow flits arrive in order, a queue is just a count plus
+	// the index of its head flit.
+	arrived := make(map[portKey]int) // flits delivered INTO the port so far
+	consumed := make(map[portKey]int)
+
+	// Active input ports inject; map them to their element ports.
+	activeIn := make(map[int]bool)
+	expectedOut := make(map[int]bool)
+	for _, fl := range f.plan.flows {
+		for _, p := range fl.IPs {
+			activeIn[p] = true
+		}
+		for _, p := range fl.OPs {
+			expectedOut[p] = true
+		}
+	}
+
+	stats := FlitStats{
+		FirstArrival:  make(map[int]int),
+		LastArrival:   make(map[int]int),
+		Flits:         nFlits,
+		MaxQueueDepth: 0,
+	}
+	outCount := make(map[int]int)
+
+	done := func() bool {
+		for p := range expectedOut {
+			if outCount[p] < nFlits {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Two-phase cycle loop: compute emissions from the current state,
+	// then apply arrivals for the next cycle.
+	const maxCycles = 1 << 20
+	for cycle := 0; ; cycle++ {
+		if cycle > maxCycles {
+			panic("fred: flit simulation did not converge")
+		}
+		stats.Cycles = cycle
+		if done() {
+			break
+		}
+		type delivery struct {
+			key portKey
+			ext int // external output when key.elem < 0
+		}
+		var deliveries []delivery
+
+		// External injection: one flit per active input per cycle.
+		if cycle < nFlits {
+			for p := range activeIn {
+				w := f.ic.inWire[p]
+				deliveries = append(deliveries, delivery{key: portKey{w.Elem, w.Port}})
+			}
+		}
+
+		// Element forwarding: a connection fires when every input port
+		// holds an unconsumed flit.
+		for elemID, conns := range f.plan.config {
+			e := f.ic.element(elemID)
+			for _, c := range conns {
+				ready := true
+				for _, in := range c.In {
+					k := portKey{elemID, in}
+					if arrived[k] <= consumed[k] {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				for _, in := range c.In {
+					consumed[portKey{elemID, in}]++
+				}
+				for _, out := range c.Out {
+					w := e.OutWire[out]
+					if w.Elem < 0 {
+						deliveries = append(deliveries, delivery{key: portKey{-1, 0}, ext: w.Ext})
+					} else {
+						deliveries = append(deliveries, delivery{key: portKey{w.Elem, w.Port}})
+					}
+				}
+			}
+		}
+
+		if len(deliveries) == 0 && cycle >= nFlits {
+			panic(fmt.Sprintf("fred: flit simulation stalled at cycle %d", cycle))
+		}
+
+		// Apply arrivals (visible next cycle).
+		for _, d := range deliveries {
+			if d.key.elem < 0 {
+				if outCount[d.ext] == 0 {
+					stats.FirstArrival[d.ext] = cycle + 1
+				}
+				outCount[d.ext]++
+				if outCount[d.ext] == nFlits {
+					stats.LastArrival[d.ext] = cycle + 1
+				}
+				continue
+			}
+			arrived[d.key]++
+			if depth := arrived[d.key] - consumed[d.key]; depth > stats.MaxQueueDepth {
+				stats.MaxQueueDepth = depth
+			}
+		}
+	}
+	return stats
+}

@@ -1,0 +1,154 @@
+package fred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlitSimLineRateAllReduce(t *testing.T) {
+	// Section 9: FRED sustains line rate with µswitches running at
+	// link speed. A wafer-wide all-reduce on Fred_3(12) must deliver
+	// 1 flit/cycle at every output.
+	ic := NewInterconnect(3, 12)
+	ports := make([]int, 12)
+	for i := range ports {
+		ports[i] = i
+	}
+	plan := ic.MustRoute([]Flow{AllReduce(ports)})
+	st := NewFlitSim(plan).Run(256)
+	for _, p := range ports {
+		if th := st.Throughput(p); th < 0.999 {
+			t.Errorf("port %d throughput %.3f flits/cycle, want line rate", p, th)
+		}
+	}
+}
+
+func TestFlitSimConcurrentFlowsLineRate(t *testing.T) {
+	ic := NewInterconnect(2, 8)
+	plan := ic.MustRoute([]Flow{
+		AllReduce([]int{0, 1, 2}),
+		AllReduce([]int{3, 4, 5}),
+	})
+	st := NewFlitSim(plan).Run(128)
+	for _, p := range []int{0, 1, 2, 3, 4, 5} {
+		if th := st.Throughput(p); th < 0.999 {
+			t.Errorf("port %d throughput %.3f", p, th)
+		}
+	}
+}
+
+func TestFlitSimUnitBuffersSuffice(t *testing.T) {
+	// Matched injection and drain leave at most one flit queued per
+	// µswitch input: per-hop buffering suffices (credit flow control).
+	ic := NewInterconnect(3, 8)
+	ports := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	plan := ic.MustRoute([]Flow{AllReduce(ports)})
+	st := NewFlitSim(plan).Run(64)
+	if st.MaxQueueDepth > 1 {
+		t.Fatalf("max queue depth %d, want ≤ 1", st.MaxQueueDepth)
+	}
+}
+
+func TestFlitSimDepthGrowsWithPorts(t *testing.T) {
+	// Pipeline depth (first arrival) grows with the recursion depth —
+	// O(log P) µswitch stages — not with P itself.
+	depth := func(p int) int {
+		ic := NewInterconnect(2, p)
+		ports := make([]int, p)
+		for i := range ports {
+			ports[i] = i
+		}
+		plan := ic.MustRoute([]Flow{AllReduce(ports)})
+		st := NewFlitSim(plan).Run(4)
+		max := 0
+		for _, d := range st.FirstArrival {
+			if d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	d4, d8, d16 := depth(4), depth(8), depth(16)
+	if !(d4 < d8 && d8 < d16) {
+		t.Fatalf("depths %d, %d, %d not increasing", d4, d8, d16)
+	}
+	// Logarithmic growth: doubling P adds a constant two stages
+	// (one input + one output level), so d16 − d8 == d8 − d4.
+	if d16-d8 != d8-d4 {
+		t.Fatalf("depth growth not constant per doubling: %d, %d, %d", d4, d8, d16)
+	}
+}
+
+func TestFlitSimUnicastDepthShallow(t *testing.T) {
+	// A unicast crosses the same stages; first arrival equals the
+	// element depth of its path.
+	ic := NewInterconnect(2, 8)
+	plan := ic.MustRoute([]Flow{Unicast(0, 7)})
+	st := NewFlitSim(plan).Run(16)
+	if st.Throughput(7) < 0.999 {
+		t.Fatalf("unicast throughput %.3f", st.Throughput(7))
+	}
+	// Fred_2(8): in → mid.in → mid.base → mid.out → out = 5 µswitch
+	// stages, plus the injection cycle.
+	if got := st.FirstArrival[7]; got != 6 {
+		t.Fatalf("unicast depth %d, want 6", got)
+	}
+}
+
+func TestFlitSimPanicsOnZeroFlits(t *testing.T) {
+	ic := NewInterconnect(2, 4)
+	plan := ic.MustRoute([]Flow{Unicast(0, 1)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewFlitSim(plan).Run(0)
+}
+
+// Property: every routable flow set streams at line rate on every
+// output with unit queues.
+func TestPropertyFlitSimLineRate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const p = 12
+		ic := NewInterconnect(3, p)
+		// Contiguous disjoint all-reduce groups (always routable).
+		var flows []Flow
+		start := 0
+		for start < p {
+			size := rng.Intn(3) + 2
+			if start+size > p {
+				size = p - start
+			}
+			ports := make([]int, size)
+			for i := range ports {
+				ports[i] = start + i
+			}
+			if size >= 2 {
+				flows = append(flows, AllReduce(ports))
+			}
+			start += size
+		}
+		if len(flows) == 0 {
+			return true
+		}
+		plan, err := ic.Route(flows)
+		if err != nil {
+			return false
+		}
+		st := NewFlitSim(plan).Run(32)
+		for _, fl := range flows {
+			for _, out := range fl.OPs {
+				if st.Throughput(out) < 0.999 {
+					return false
+				}
+			}
+		}
+		return st.MaxQueueDepth <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

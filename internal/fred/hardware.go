@@ -1,0 +1,161 @@
+package fred
+
+import (
+	"fmt"
+	"math"
+)
+
+// HWParams models the physical technology of a FRED switch chiplet
+// (Section 6.2.3, Table 3/4 of the paper).
+type HWParams struct {
+	// IODensityGBpsPerMM is the wafer-scale I/O edge density: the
+	// paper's Si-IF provides 53.7 GB/s per mm per metal layer with two
+	// metal layers → 107.4 GB/s/mm.
+	IODensityGBpsPerMM float64
+	// EnergyPJPerBit is the wafer interconnect energy (0.063 pJ/bit).
+	EnergyPJPerBit float64
+	// AdderAreaUM2 is the area of one FP16 adder lane at the 15 nm
+	// class node used for the post-layout numbers.
+	AdderAreaUM2 float64
+	// SRAMBytesPerUM2 is config-SRAM density.
+	SRAMBytesPerUM2 float64
+}
+
+// DefaultHWParams returns the paper's technology point.
+func DefaultHWParams() HWParams {
+	return HWParams{
+		IODensityGBpsPerMM: 107.4,
+		EnergyPJPerBit:     0.063,
+		AdderAreaUM2:       120,
+		SRAMBytesPerUM2:    1.0 / 50,
+	}
+}
+
+// flitBytes is the datapath width each µswitch lane processes per
+// cycle (Section 6.2.3: 512 B flits).
+const flitBytes = 512
+
+// IOPerimeterMM returns the die edge needed to escape the given
+// per-port bandwidths (one entry per port; each port is a full-duplex
+// pair sharing the two metal layers).
+func (h HWParams) IOPerimeterMM(portBW []float64) float64 {
+	total := 0.0
+	for _, bw := range portBW {
+		total += bw
+	}
+	return total / (h.IODensityGBpsPerMM * 1e9)
+}
+
+// IOAreaMM2 returns the I/O-limited die area: a square whose perimeter
+// escapes the ports. FRED switch chiplets are I/O-bound — "Fred's
+// internal logic occupies less than 5% of the chip area".
+func (h HWParams) IOAreaMM2(portBW []float64) float64 {
+	side := h.IOPerimeterMM(portBW) / 4
+	return side * side
+}
+
+// LogicAreaMM2 estimates the compute/switching logic of an
+// interconnect: every reduction-capable element carries one flit-wide
+// FP16 adder array (flitBytes/2 lanes); crossbar muxing is folded into
+// the same estimate.
+func (h HWParams) LogicAreaMM2(ic *Interconnect) float64 {
+	adders := 0
+	for _, e := range ic.Elements() {
+		if e.Kind.CanReduce() {
+			adders += flitBytes / 2
+		}
+	}
+	return float64(adders) * h.AdderAreaUM2 / 1e6
+}
+
+// SwitchPowerW estimates a chiplet's power from its aggregate
+// throughput at the interconnect energy per bit, assuming the given
+// average utilization.
+func (h HWParams) SwitchPowerW(portBW []float64, utilization float64) float64 {
+	total := 0.0
+	for _, bw := range portBW {
+		total += bw
+	}
+	return total * 8 * h.EnergyPJPerBit * 1e-12 * utilization
+}
+
+// ConfigBits returns the control-unit state one communication phase
+// needs: for every element, a selection per connection endpoint plus
+// feature bits (Section 6.2.3 stores per-phase µswitch configurations
+// in 1.5 KB of SRAM, indexed by the packet header).
+func ConfigBits(ic *Interconnect) int {
+	bits := 0
+	for _, e := range ic.Elements() {
+		// Per input port: which output it maps to (log2(Out)+1 for
+		// "unused"), plus reduce/distribute feature flags.
+		sel := int(math.Ceil(math.Log2(float64(e.Out + 1))))
+		if sel < 1 {
+			sel = 1
+		}
+		bits += e.In*sel + 2
+	}
+	return bits
+}
+
+// PhasesInSRAM returns how many communication-phase configurations fit
+// in a config store of the given bytes.
+func PhasesInSRAM(ic *Interconnect, sramBytes int) int {
+	per := ConfigBits(ic)
+	if per == 0 {
+		return 0
+	}
+	return sramBytes * 8 / per
+}
+
+// ChipletSpec describes one physical FRED switch chiplet of the
+// Figure 8(b) decomposition.
+type ChipletSpec struct {
+	Name   string
+	M      int       // middle stages
+	Ports  int       // port count
+	PortBW []float64 // per-port one-direction bandwidth share
+}
+
+// paperPortBW is the per-port one-direction bandwidth slice of the
+// Table 4 chiplets: each logical L1/L2 switch is decomposed into
+// chiplets whose ports carry ~0.94 TB/s. The 107.4 GB/s/mm density is
+// the full-duplex figure (one metal layer per direction at
+// 53.7 GB/s/mm each), so one-direction port bandwidth divided by it
+// yields the escape edge of the pair.
+const paperPortBW = 937.5e9
+
+// Table4Chiplets returns the paper's chiplet decomposition with a
+// bandwidth assignment that reproduces the published areas.
+func Table4Chiplets() []ChipletSpec {
+	uniform := func(n int, bw float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = bw
+		}
+		return out
+	}
+	return []ChipletSpec{
+		{Name: "Fred3(12) L1", M: 3, Ports: 12, PortBW: uniform(12, paperPortBW)},
+		{Name: "Fred3(11) L1", M: 3, Ports: 11, PortBW: uniform(11, paperPortBW)},
+		// The L2 chiplets serve the five 12 TB/s L1 trunks with fewer,
+		// fatter ports (~1.2 TB/s each).
+		{Name: "Fred3(10) L2", M: 3, Ports: 10, PortBW: uniform(10, 1.225e12)},
+	}
+}
+
+// Area returns the chiplet's die area (I/O-limited plus logic).
+func (c ChipletSpec) Area(h HWParams) float64 {
+	return h.IOAreaMM2(c.PortBW) + h.LogicAreaMM2(NewInterconnect(c.M, c.Ports))
+}
+
+// LogicFraction returns the share of die area spent on switching
+// logic — the paper reports under 5%.
+func (c ChipletSpec) LogicFraction(h HWParams) float64 {
+	logic := h.LogicAreaMM2(NewInterconnect(c.M, c.Ports))
+	return logic / c.Area(h)
+}
+
+// String describes the chiplet.
+func (c ChipletSpec) String() string {
+	return fmt.Sprintf("%s: %d ports, m=%d", c.Name, c.Ports, c.M)
+}

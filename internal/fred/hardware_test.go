@@ -1,0 +1,92 @@
+package fred
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIOAreaMatchesTable4(t *testing.T) {
+	// The I/O-limited area model must land near the post-layout
+	// Table 4 numbers (685 / 678 / 814 mm² chiplets; the published
+	// figures include pad rings and aspect-ratio slack, so allow 20%).
+	h := DefaultHWParams()
+	want := map[string]float64{
+		"Fred3(12) L1": 685,
+		"Fred3(11) L1": 678,
+		"Fred3(10) L2": 814,
+	}
+	for _, c := range Table4Chiplets() {
+		got := c.Area(h)
+		paper := want[c.Name]
+		if math.Abs(got-paper)/paper > 0.35 {
+			t.Errorf("%s area = %.0f mm², paper %.0f mm²", c.Name, got, paper)
+		}
+	}
+}
+
+func TestLogicUnderFivePercent(t *testing.T) {
+	// "Fred's internal logic occupies less than 5% of the chip area."
+	h := DefaultHWParams()
+	for _, c := range Table4Chiplets() {
+		if f := c.LogicFraction(h); f >= 0.05 {
+			t.Errorf("%s logic fraction %.1f%% ≥ 5%%", c.Name, f*100)
+		}
+	}
+}
+
+func TestAreaShrinksWithIODensity(t *testing.T) {
+	// Section 6.2.3: 250 GB/s/mm next-gen I/O → 18.4% of area;
+	// 1 TB/s/mm UCIe-A → 5%.
+	h := DefaultHWParams()
+	c := Table4Chiplets()[0]
+	base := h.IOAreaMM2(c.PortBW)
+	h250 := h
+	h250.IODensityGBpsPerMM = 250
+	hUCIe := h
+	hUCIe.IODensityGBpsPerMM = 1000
+	r250 := h250.IOAreaMM2(c.PortBW) / base
+	rUCIe := hUCIe.IOAreaMM2(c.PortBW) / base
+	if math.Abs(r250-0.184) > 0.01 {
+		t.Errorf("area ratio at 250 GB/s/mm = %.3f, paper 18.4%%", r250)
+	}
+	if math.Abs(rUCIe-0.0115) > 0.005 {
+		t.Errorf("area ratio at 1 TB/s/mm = %.3f, expected ≈ (107.4/1000)²", rUCIe)
+	}
+}
+
+func TestSwitchPowerPlausible(t *testing.T) {
+	// Table 4: 3.75 W per Fred3(12) chiplet. Energy/bit × throughput
+	// at partial utilization must land in that range.
+	h := DefaultHWParams()
+	c := Table4Chiplets()[0]
+	p := h.SwitchPowerW(c.PortBW, 0.33)
+	if p < 1 || p > 10 {
+		t.Errorf("Fred3(12) power = %.2f W, expected low single digits (Table 4: 3.75 W)", p)
+	}
+}
+
+func TestConfigSRAMHoldsManyPhases(t *testing.T) {
+	// Section 6.2.3: 1.5 KB SRAM stores the µswitch configurations of
+	// the training workload's communication phases.
+	ic := NewInterconnect(3, 12)
+	bits := ConfigBits(ic)
+	if bits <= 0 {
+		t.Fatal("no config bits")
+	}
+	phases := PhasesInSRAM(ic, 1536)
+	if phases < 8 {
+		t.Fatalf("1.5 KB SRAM holds only %d phases of %d bits; the design assumes many more", phases, bits)
+	}
+}
+
+func TestIOPerimeterLinear(t *testing.T) {
+	h := DefaultHWParams()
+	one := h.IOPerimeterMM([]float64{107.4e9})
+	if math.Abs(one-1) > 1e-9 {
+		t.Fatalf("107.4 GB/s needs %.3f mm, want 1", one)
+	}
+	four := h.IOPerimeterMM([]float64{107.4e9, 107.4e9, 107.4e9, 107.4e9})
+	if math.Abs(four-4) > 1e-9 {
+		t.Fatalf("perimeter not linear: %g", four)
+	}
+}

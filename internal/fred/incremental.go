@@ -1,0 +1,252 @@
+package fred
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IncrementalRouter adds and removes flows one at a time WITHOUT
+// re-routing established flows — circuit-switched operation, where
+// live collectives must not be disturbed. This realises the
+// nonblocking distinction of Section 5.3: with m = 2 the interconnect
+// is only rearrangeably nonblocking (an addition can fail even though
+// a full re-route would succeed), while m ≥ 3 is strict-sense
+// nonblocking for unicast traffic — additions never fail.
+type IncrementalRouter struct {
+	ic    *Interconnect
+	flows []Flow
+	live  []bool
+	// colors[path][flowIdx] is the established middle-subnetwork choice
+	// of a flow at the stage identified by its recursion path.
+	colors map[string]map[int]int
+}
+
+// NewIncrementalRouter creates an empty router for the interconnect.
+func NewIncrementalRouter(ic *Interconnect) *IncrementalRouter {
+	return &IncrementalRouter{ic: ic, colors: make(map[string]map[int]int)}
+}
+
+// Live returns the number of established flows.
+func (r *IncrementalRouter) Live() int {
+	n := 0
+	for _, l := range r.live {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrBlocked reports that a flow addition found no free middle
+// subnetwork at some stage while existing circuits stayed pinned.
+type ErrBlocked struct {
+	Flow Flow
+	Path string
+}
+
+func (e *ErrBlocked) Error() string {
+	return fmt.Sprintf("fred: flow %v blocked at stage %q (established circuits pinned)", e.Flow, e.Path)
+}
+
+// Add establishes a new flow. Established flows keep their circuits;
+// the new flow backtracks only over its own choices. On failure the
+// router state is unchanged and the error is *ErrBlocked.
+func (r *IncrementalRouter) Add(f Flow) error {
+	// Validate against live flows.
+	idx := len(r.flows)
+	all := append(r.currentFlows(), f)
+	if err := validateFlows(r.ic.p, all); err != nil {
+		return err
+	}
+	staged := make(map[string]int) // this flow's tentative choices
+	lf := localFlow{id: idx, ips: sortedCopy(f.IPs), ops: sortedCopy(f.OPs)}
+	if !r.place(r.ic.root, lf, "", staged) {
+		return &ErrBlocked{Flow: f, Path: blockedPathOf(staged)}
+	}
+	r.flows = append(r.flows, f)
+	r.live = append(r.live, true)
+	for path, c := range staged {
+		if r.colors[path] == nil {
+			r.colors[path] = make(map[int]int)
+		}
+		r.colors[path][idx] = c
+	}
+	return nil
+}
+
+// Remove tears down the i-th added flow, freeing its circuits.
+func (r *IncrementalRouter) Remove(i int) {
+	if i < 0 || i >= len(r.flows) || !r.live[i] {
+		return
+	}
+	r.live[i] = false
+	for _, m := range r.colors {
+		delete(m, i)
+	}
+}
+
+// currentFlows returns the live flows (indices preserved via padding
+// with empty entries is unnecessary — validate uses values only).
+func (r *IncrementalRouter) currentFlows() []Flow {
+	var out []Flow
+	for i, f := range r.flows {
+		if r.live[i] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// place recursively finds a color for the flow at this stage without
+// moving established flows, backtracking over the new flow's own
+// choices.
+func (r *IncrementalRouter) place(st *stage, f localFlow, path string, staged map[string]int) bool {
+	if st.base != nil {
+		return true // base stage has no choice to make
+	}
+	inSW, outSW, oddIn, oddOut := stagePorts(st, f)
+	_ = oddIn
+	_ = oddOut
+	// Colors used at this stage by conflicting live flows.
+	used := make(map[int]bool)
+	for liveIdx, c := range r.colors[path] {
+		if !r.live[liveIdx] {
+			continue
+		}
+		lv := r.projectAt(st, r.flows[liveIdx], path)
+		conflict := false
+		for s := range inSW {
+			if _, ok := lv.in[s]; ok {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			for s := range outSW {
+				if _, ok := lv.out[s]; ok {
+					conflict = true
+					break
+				}
+			}
+		}
+		if conflict {
+			used[c] = true
+		}
+	}
+	// Sub-flow projection for recursion.
+	var subIPs, subOPs []int
+	for s := range inSW {
+		subIPs = append(subIPs, s)
+	}
+	if oddIn {
+		subIPs = append(subIPs, st.r)
+	}
+	for s := range outSW {
+		subOPs = append(subOPs, s)
+	}
+	if oddOut {
+		subOPs = append(subOPs, st.r)
+	}
+	sort.Ints(subIPs)
+	sort.Ints(subOPs)
+	for c := 0; c < r.ic.m; c++ {
+		if used[c] {
+			continue
+		}
+		staged[path] = c
+		sub := localFlow{id: f.id, ips: subIPs, ops: subOPs}
+		if r.place(st.middles[c], sub, fmt.Sprintf("%smid[%d].", path, c), staged) {
+			return true
+		}
+		delete(staged, path)
+	}
+	return false
+}
+
+// stageLocal captures where a flow touches a stage.
+type stageLocal struct {
+	in, out map[int][]int
+}
+
+// projectAt computes where an established flow appears at the stage
+// with the given path, by replaying its recorded colors from the root.
+func (r *IncrementalRouter) projectAt(target *stage, f Flow, path string) stageLocal {
+	idx := r.indexOf(f)
+	st := r.ic.root
+	cur := ""
+	lf := localFlow{id: idx, ips: sortedCopy(f.IPs), ops: sortedCopy(f.OPs)}
+	for cur != path {
+		in, out, oddIn, oddOut := stagePorts(st, lf)
+		c := r.colors[cur][idx]
+		var subIPs, subOPs []int
+		for s := range in {
+			subIPs = append(subIPs, s)
+		}
+		if oddIn {
+			subIPs = append(subIPs, st.r)
+		}
+		for s := range out {
+			subOPs = append(subOPs, s)
+		}
+		if oddOut {
+			subOPs = append(subOPs, st.r)
+		}
+		sort.Ints(subIPs)
+		sort.Ints(subOPs)
+		lf = localFlow{id: idx, ips: subIPs, ops: subOPs}
+		cur = fmt.Sprintf("%smid[%d].", cur, c)
+		st = st.middles[c]
+	}
+	in, out, _, _ := stagePorts(st, lf)
+	return stageLocal{in: in, out: out}
+}
+
+func (r *IncrementalRouter) indexOf(f Flow) int {
+	for i := range r.flows {
+		if r.live[i] && flowPortsKey(r.flows[i].IPs) == flowPortsKey(f.IPs) &&
+			flowPortsKey(r.flows[i].OPs) == flowPortsKey(f.OPs) {
+			return i
+		}
+	}
+	return -1
+}
+
+// stagePorts maps a local flow's ports to the stage's input/output
+// µswitches.
+func stagePorts(st *stage, f localFlow) (in, out map[int][]int, oddIn, oddOut bool) {
+	in = make(map[int][]int)
+	out = make(map[int][]int)
+	for _, p := range f.ips {
+		if st.odd && p == 2*st.r {
+			oddIn = true
+		} else {
+			in[p/2] = append(in[p/2], p%2)
+		}
+	}
+	for _, p := range f.ops {
+		if st.odd && p == 2*st.r {
+			oddOut = true
+		} else {
+			out[p/2] = append(out[p/2], p%2)
+		}
+	}
+	return
+}
+
+// blockedPathOf reports the deepest staged path for diagnostics.
+func blockedPathOf(staged map[string]int) string {
+	deepest := ""
+	for p := range staged {
+		if len(p) > len(deepest) {
+			deepest = p
+		}
+	}
+	return deepest
+}
+
+// Plan produces a full routing plan for the currently established
+// flows (re-routing them jointly — used to hand the circuit set to the
+// data-plane verifier).
+func (r *IncrementalRouter) Plan() (*Plan, error) {
+	return r.ic.Route(r.currentFlows())
+}

@@ -1,0 +1,178 @@
+package fred
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIncrementalBasicAdds(t *testing.T) {
+	ic := NewInterconnect(3, 8)
+	r := NewIncrementalRouter(ic)
+	if err := r.Add(AllReduce([]int{0, 1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(AllReduce([]int{3, 4, 5})); err != nil {
+		t.Fatal(err)
+	}
+	if r.Live() != 2 {
+		t.Fatalf("Live = %d", r.Live())
+	}
+	plan, err := r.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalRejectsPortOverlap(t *testing.T) {
+	ic := NewInterconnect(3, 8)
+	r := NewIncrementalRouter(ic)
+	if err := r.Add(Unicast(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(Unicast(0, 2)); err == nil {
+		t.Fatal("shared input port accepted")
+	}
+	if r.Live() != 1 {
+		t.Fatalf("failed add changed state: Live = %d", r.Live())
+	}
+}
+
+// blockingTriple is a flow set whose conflict graph is a triangle:
+// with m = 2 the third circuit cannot be established while the first
+// two stay pinned; m = 3 admits all three (Section 5.3, footnote 3).
+func blockingTriple() []Flow {
+	return []Flow{
+		Unicast(0, 0),             // in-µsw0, out-µsw0, first-fit middle 0
+		Multicast(2, []int{1, 3}), // out-µsw0 conflict → middle 1
+		Unicast(1, 2),             // in-µsw0 (mid 0 busy), out-µsw1 (mid 1 busy)
+	}
+}
+
+func TestIncrementalM2CanBlock(t *testing.T) {
+	ic := NewInterconnect(2, 8)
+	r := NewIncrementalRouter(ic)
+	flows := blockingTriple()
+	if err := r.Add(flows[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(flows[1]); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Add(flows[2])
+	var blocked *ErrBlocked
+	if !errors.As(err, &blocked) {
+		t.Fatalf("expected ErrBlocked, got %v", err)
+	}
+	if r.Live() != 2 {
+		t.Fatalf("failed add changed state: Live = %d", r.Live())
+	}
+}
+
+func TestIncrementalM3AdmitsBlockingTriple(t *testing.T) {
+	// Raising m to 3 (the paper's deployment choice) admits the same
+	// sequence without disturbing established circuits.
+	ic := NewInterconnect(3, 8)
+	r := NewIncrementalRouter(ic)
+	for _, f := range blockingTriple() {
+		if err := r.Add(f); err != nil {
+			t.Fatalf("m=3 blocked on %v: %v", f, err)
+		}
+	}
+	plan, err := r.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalRemoveFreesCircuits(t *testing.T) {
+	ic := NewInterconnect(2, 8)
+	r := NewIncrementalRouter(ic)
+	flows := blockingTriple()
+	if err := r.Add(flows[0]); err != nil { // flow 0
+		t.Fatal(err)
+	}
+	if err := r.Add(flows[1]); err != nil { // flow 1
+		t.Fatal(err)
+	}
+	if err := r.Add(flows[2]); err == nil {
+		t.Fatal("expected block")
+	}
+	r.Remove(0)
+	if err := r.Add(flows[2]); err != nil {
+		t.Fatalf("still blocked after removal: %v", err)
+	}
+	if r.Live() != 2 {
+		t.Fatalf("Live = %d", r.Live())
+	}
+}
+
+func TestIncrementalRemoveIdempotent(t *testing.T) {
+	ic := NewInterconnect(3, 8)
+	r := NewIncrementalRouter(ic)
+	if err := r.Add(Unicast(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	r.Remove(0)
+	r.Remove(0)
+	r.Remove(5)
+	if r.Live() != 0 {
+		t.Fatalf("Live = %d", r.Live())
+	}
+}
+
+// Property: with m = 3, any sequence of port-disjoint unicast
+// additions and random removals never blocks (strict-sense
+// nonblocking, Section 5.3).
+func TestPropertyM3StrictSenseUnicast(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const p = 12
+		ic := NewInterconnect(3, p)
+		r := NewIncrementalRouter(ic)
+		inUse := map[int]int{}  // input port → flow index
+		outUse := map[int]int{} // output port → flow index
+		for step := 0; step < 60; step++ {
+			if rng.Intn(3) == 0 && len(inUse) > 0 {
+				// Remove a random live flow.
+				for in, idx := range inUse {
+					r.Remove(idx)
+					delete(inUse, in)
+					for out, oIdx := range outUse {
+						if oIdx == idx {
+							delete(outUse, out)
+						}
+					}
+					break
+				}
+				continue
+			}
+			in, out := rng.Intn(p), rng.Intn(p)
+			if _, busy := inUse[in]; busy {
+				continue
+			}
+			if _, busy := outUse[out]; busy {
+				continue
+			}
+			if err := r.Add(Unicast(in, out)); err != nil {
+				return false // a strict-sense network must never block
+			}
+			inUse[in] = r.flowCount() - 1
+			outUse[out] = r.flowCount() - 1
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flowCount exposes the internal counter for the property test.
+func (r *IncrementalRouter) flowCount() int { return len(r.flows) }

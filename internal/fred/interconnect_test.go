@@ -1,0 +1,197 @@
+package fred
+
+import (
+	"testing"
+)
+
+func TestConstructionBaseCase(t *testing.T) {
+	ic := NewInterconnect(2, 2)
+	if ic.NumElements() != 1 {
+		t.Fatalf("Fred_2(2) has %d elements, want 1", ic.NumElements())
+	}
+	e := ic.Elements()[0]
+	if e.Kind != KindBase || e.In != 2 || e.Out != 2 {
+		t.Fatalf("base element = %v %dx%d", e.Kind, e.In, e.Out)
+	}
+}
+
+func TestConstructionEven(t *testing.T) {
+	// Fred_2(8): 4 input + 4 output µswitches at level 0, two Fred_2(4)
+	// middles, each with 2+2 µswitches and two Fred_2(2) bases.
+	ic := NewInterconnect(2, 8)
+	counts := map[ElementKind]int{}
+	for _, e := range ic.Elements() {
+		counts[e.Kind]++
+	}
+	// Level 0: 4 in + 4 out. Level 1 (×2): 2 in + 2 out. Level 2: 4×2=...
+	// Fred_2(4) middles contain 2 in, 2 out, 2 bases each.
+	if counts[KindInput] != 4+2*2 {
+		t.Errorf("input µswitches = %d, want 8", counts[KindInput])
+	}
+	if counts[KindOutput] != 4+2*2 {
+		t.Errorf("output µswitches = %d, want 8", counts[KindOutput])
+	}
+	// Each Fred_2(4) middle holds two Fred_2(2) bases.
+	if counts[KindBase] != 2*2 {
+		t.Errorf("base RD-µswitches = %d, want 4", counts[KindBase])
+	}
+	if counts[KindMux] != 0 || counts[KindDemux] != 0 {
+		t.Errorf("even network has mux/demux: %v", counts)
+	}
+}
+
+func TestConstructionOdd(t *testing.T) {
+	// Fred_3(3): 1 input + 1 output µswitch, demux + mux, 3 base middles.
+	ic := NewInterconnect(3, 3)
+	counts := map[ElementKind]int{}
+	for _, e := range ic.Elements() {
+		counts[e.Kind]++
+	}
+	if counts[KindInput] != 1 || counts[KindOutput] != 1 {
+		t.Errorf("Fred_3(3) stage µswitches: %v", counts)
+	}
+	if counts[KindDemux] != 1 || counts[KindMux] != 1 {
+		t.Errorf("Fred_3(3) mux/demux: %v", counts)
+	}
+	if counts[KindBase] != 3 {
+		t.Errorf("Fred_3(3) bases = %d, want 3 (one per middle)", counts[KindBase])
+	}
+}
+
+func TestConstructionInputStagePortWidths(t *testing.T) {
+	for _, m := range []int{2, 3, 4} {
+		ic := NewInterconnect(m, 8)
+		for _, e := range ic.Elements() {
+			switch e.Kind {
+			case KindInput:
+				if e.In != 2 || e.Out != m {
+					t.Fatalf("m=%d: input µswitch is %dx%d", m, e.In, e.Out)
+				}
+			case KindOutput:
+				if e.In != m || e.Out != 2 {
+					t.Fatalf("m=%d: output µswitch is %dx%d", m, e.In, e.Out)
+				}
+			case KindDemux:
+				if e.In != 1 || e.Out != m {
+					t.Fatalf("m=%d: demux is %dx%d", m, e.In, e.Out)
+				}
+			case KindMux:
+				if e.In != m || e.Out != 1 {
+					t.Fatalf("m=%d: mux is %dx%d", m, e.In, e.Out)
+				}
+			}
+		}
+	}
+}
+
+func TestConstructionAllWiresLand(t *testing.T) {
+	// Every element output wire must point at a valid element input
+	// port or a valid external output; every external output must be
+	// driven exactly once.
+	for _, p := range []int{2, 3, 4, 5, 6, 7, 8, 11, 12, 16} {
+		ic := NewInterconnect(3, p)
+		extDriven := make(map[int]int)
+		for _, e := range ic.Elements() {
+			for _, w := range e.OutWire {
+				if w.Elem < 0 {
+					if w.Ext < 0 || w.Ext >= p {
+						t.Fatalf("P=%d: external output %d out of range", p, w.Ext)
+					}
+					extDriven[w.Ext]++
+					continue
+				}
+				dst := ic.element(w.Elem)
+				if w.Port < 0 || w.Port >= dst.In {
+					t.Fatalf("P=%d: wire into %s port %d out of range", p, dst.Label, w.Port)
+				}
+			}
+		}
+		for j := 0; j < p; j++ {
+			if extDriven[j] != 1 {
+				t.Fatalf("P=%d: external output %d driven %d times", p, j, extDriven[j])
+			}
+		}
+		if len(ic.inWire) != p {
+			t.Fatalf("P=%d: %d external inputs", p, len(ic.inWire))
+		}
+	}
+}
+
+func TestConstructionEveryInputPortFedOnce(t *testing.T) {
+	for _, p := range []int{4, 7, 12} {
+		ic := NewInterconnect(3, p)
+		fed := make(map[[2]int]int)
+		for i := 0; i < p; i++ {
+			w := ic.inWire[i]
+			fed[[2]int{w.Elem, w.Port}]++
+		}
+		for _, e := range ic.Elements() {
+			for _, w := range e.OutWire {
+				if w.Elem >= 0 {
+					fed[[2]int{w.Elem, w.Port}]++
+				}
+			}
+		}
+		for _, e := range ic.Elements() {
+			for port := 0; port < e.In; port++ {
+				if got := fed[[2]int{e.ID, port}]; got != 1 {
+					t.Fatalf("P=%d: %s input %d fed %d times", p, e.Label, port, got)
+				}
+			}
+		}
+	}
+}
+
+func TestBadParametersPanic(t *testing.T) {
+	for _, c := range []struct{ m, p int }{{1, 8}, {2, 1}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewInterconnect(%d,%d) did not panic", c.m, c.p)
+				}
+			}()
+			NewInterconnect(c.m, c.p)
+		}()
+	}
+}
+
+func TestElementKindStrings(t *testing.T) {
+	if KindInput.String() != "R-µswitch" || KindOutput.String() != "D-µswitch" || KindBase.String() != "RD-µswitch" {
+		t.Fatal("unexpected kind names")
+	}
+	if !KindBase.CanReduce() || !KindBase.CanDistribute() {
+		t.Fatal("RD-µswitch must reduce and distribute")
+	}
+	if !KindInput.CanReduce() || KindInput.CanDistribute() {
+		t.Fatal("R-µswitch reduces only")
+	}
+	if KindOutput.CanReduce() || !KindOutput.CanDistribute() {
+		t.Fatal("D-µswitch distributes only")
+	}
+	if KindMux.CanReduce() || KindDemux.CanDistribute() {
+		t.Fatal("mux/demux have no compute")
+	}
+}
+
+func TestInterconnectStatsAndString(t *testing.T) {
+	ic := NewInterconnect(3, 12)
+	st := ic.Stats()
+	if st.Ports != 12 || st.MiddleStages != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	total := 0
+	for _, n := range st.Elements {
+		total += n
+	}
+	if total != ic.NumElements() {
+		t.Fatalf("element counts %d != %d", total, ic.NumElements())
+	}
+	// 12 → 6 → 3 → 2: four recursion levels.
+	if st.Levels != 4 {
+		t.Fatalf("levels = %d, want 4", st.Levels)
+	}
+	s := ic.String()
+	if s == "" || s[:6] != "Fred_3" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,162 @@
+package fred
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PhaseRegistry is the control unit's configuration store of
+// Section 5.2 / 6.2.3: because training communication is deterministic
+// and repetitive, the routing algorithm runs at compile time and the
+// resulting µswitch configurations are saved in the switch's SRAM,
+// indexed by the phase id each packet header carries. A default phase
+// (id 0) falls back to online unicast routing for dynamic patterns
+// such as alltoallv (footnote 5).
+type PhaseRegistry struct {
+	ic     *Interconnect
+	phases map[PhaseID]*Plan
+	order  []PhaseID
+	sram   int // bytes available for configurations
+}
+
+// PhaseID indexes a compiled communication phase; it travels in the
+// packet header.
+type PhaseID uint16
+
+// DefaultPhase is the online-unicast fallback phase (footnote 5).
+const DefaultPhase PhaseID = 0
+
+// NewPhaseRegistry creates a registry for an interconnect with the
+// given SRAM budget (the paper provisions 1.5 KB per switch).
+func NewPhaseRegistry(ic *Interconnect, sramBytes int) *PhaseRegistry {
+	if sramBytes <= 0 {
+		panic("fred: registry needs a positive SRAM budget")
+	}
+	return &PhaseRegistry{ic: ic, phases: make(map[PhaseID]*Plan), sram: sramBytes}
+}
+
+// Capacity returns how many phases the SRAM budget can hold.
+func (r *PhaseRegistry) Capacity() int { return PhasesInSRAM(r.ic, r.sram) }
+
+// Len returns the number of compiled phases stored.
+func (r *PhaseRegistry) Len() int { return len(r.phases) }
+
+// Compile routes the flows and stores the plan under the given phase
+// id. It fails on routing conflicts, on reuse of the default phase id,
+// on id collisions, and when the SRAM budget is exhausted.
+func (r *PhaseRegistry) Compile(id PhaseID, flows []Flow) (*Plan, error) {
+	if id == DefaultPhase {
+		return nil, fmt.Errorf("fred: phase %d is reserved for online unicast routing", id)
+	}
+	if _, dup := r.phases[id]; dup {
+		return nil, fmt.Errorf("fred: phase %d already compiled", id)
+	}
+	if len(r.phases)+1 > r.Capacity() {
+		return nil, fmt.Errorf("fred: SRAM budget (%d B) holds only %d phases", r.sram, r.Capacity())
+	}
+	plan, err := r.ic.Route(flows)
+	if err != nil {
+		return nil, err
+	}
+	r.phases[id] = plan
+	r.order = append(r.order, id)
+	return plan, nil
+}
+
+// Lookup returns the stored plan for a phase id (nil, false for the
+// default phase or unknown ids — the switch then falls back to online
+// routing).
+func (r *PhaseRegistry) Lookup(id PhaseID) (*Plan, bool) {
+	p, ok := r.phases[id]
+	return p, ok
+}
+
+// Evict removes a compiled phase, freeing SRAM for a new one (e.g.
+// when the compiler re-plans between training jobs).
+func (r *PhaseRegistry) Evict(id PhaseID) {
+	if _, ok := r.phases[id]; !ok {
+		return
+	}
+	delete(r.phases, id)
+	for i, x := range r.order {
+		if x == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Phases returns the stored phase ids in compilation order.
+func (r *PhaseRegistry) Phases() []PhaseID {
+	return append([]PhaseID(nil), r.order...)
+}
+
+// UsedBytes returns the SRAM consumed by the stored configurations.
+func (r *PhaseRegistry) UsedBytes() int {
+	bits := ConfigBits(r.ic) * len(r.phases)
+	return (bits + 7) / 8
+}
+
+// EncodeConfig serialises one plan's element configurations to the
+// bitstream the control unit would hold: for every element in ID
+// order, per input port, the selected output (or the unused marker)
+// plus the reduce and distribute feature bits.
+func EncodeConfig(plan *Plan) []byte {
+	ic := plan.ic
+	var bits []bool
+	appendN := func(v, n int) {
+		for i := n - 1; i >= 0; i-- {
+			bits = append(bits, v>>i&1 == 1)
+		}
+	}
+	ids := make([]int, 0, len(plan.config))
+	for id := range plan.config {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, e := range ic.Elements() {
+		selBits := selWidth(e.Out)
+		// Per input port: output selection (e.Out means "unused").
+		outFor := make([]int, e.In)
+		for i := range outFor {
+			outFor[i] = e.Out // unused marker
+		}
+		reduce, distribute := 0, 0
+		for _, c := range plan.config[e.ID] {
+			for _, in := range c.In {
+				outFor[in] = c.Out[0]
+			}
+			if c.Reduces() {
+				reduce = 1
+			}
+			if c.Distributes() {
+				distribute = 1
+			}
+		}
+		for _, sel := range outFor {
+			appendN(sel, selBits)
+		}
+		appendN(reduce, 1)
+		appendN(distribute, 1)
+	}
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			out[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	return out
+}
+
+// selWidth returns the selection-field width for an element with the
+// given output count (one extra code for "unused").
+func selWidth(outs int) int {
+	n := 0
+	for v := outs; v > 0; v >>= 1 {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

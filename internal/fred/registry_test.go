@@ -1,0 +1,127 @@
+package fred
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRegistryCompileAndLookup(t *testing.T) {
+	ic := NewInterconnect(3, 12)
+	r := NewPhaseRegistry(ic, 1536)
+	plan, err := r.Compile(1, []Flow{AllReduce([]int{0, 1, 2, 3})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Lookup(1)
+	if !ok || got != plan {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := r.Lookup(2); ok {
+		t.Fatal("phantom phase")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRegistryRejectsDefaultAndDuplicates(t *testing.T) {
+	ic := NewInterconnect(3, 12)
+	r := NewPhaseRegistry(ic, 1536)
+	if _, err := r.Compile(DefaultPhase, []Flow{Unicast(0, 1)}); err == nil {
+		t.Fatal("default phase accepted")
+	}
+	if _, err := r.Compile(3, []Flow{Unicast(0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Compile(3, []Flow{Unicast(2, 3)}); err == nil {
+		t.Fatal("duplicate phase accepted")
+	}
+}
+
+func TestRegistrySRAMBudget(t *testing.T) {
+	ic := NewInterconnect(3, 12)
+	capacity := PhasesInSRAM(ic, 1536)
+	if capacity < 8 {
+		t.Fatalf("capacity = %d", capacity)
+	}
+	r := NewPhaseRegistry(ic, 1536)
+	for i := 0; i < capacity; i++ {
+		if _, err := r.Compile(PhaseID(i+1), []Flow{Unicast(i%12, (i+1)%12)}); err != nil {
+			t.Fatalf("phase %d: %v", i+1, err)
+		}
+	}
+	if _, err := r.Compile(PhaseID(capacity+1), []Flow{Unicast(0, 1)}); err == nil {
+		t.Fatal("SRAM overflow accepted")
+	}
+	if r.UsedBytes() > 1536 {
+		t.Fatalf("used %d B > budget", r.UsedBytes())
+	}
+	// Evicting frees room.
+	r.Evict(1)
+	if _, err := r.Compile(PhaseID(capacity+1), []Flow{Unicast(0, 1)}); err != nil {
+		t.Fatalf("after evict: %v", err)
+	}
+	if len(r.Phases()) != capacity {
+		t.Fatalf("phases = %d", len(r.Phases()))
+	}
+}
+
+func TestRegistryPropagatesConflicts(t *testing.T) {
+	ic := NewInterconnect(2, 8)
+	r := NewPhaseRegistry(ic, 1536)
+	_, err := r.Compile(1, []Flow{
+		AllReduce([]int{1, 2}), AllReduce([]int{3, 4}), AllReduce([]int{0, 5}),
+	})
+	if err == nil {
+		t.Fatal("conflicting flows compiled")
+	}
+	if r.Len() != 0 {
+		t.Fatal("failed compile left state behind")
+	}
+}
+
+func TestEncodeConfigDeterministicAndSized(t *testing.T) {
+	ic := NewInterconnect(3, 8)
+	plan := ic.MustRoute([]Flow{AllReduce([]int{0, 1, 2}), Unicast(5, 7)})
+	a := EncodeConfig(plan)
+	b := EncodeConfig(plan)
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding not deterministic")
+	}
+	wantBytes := (encodeBitsLen(ic) + 7) / 8
+	if len(a) != wantBytes {
+		t.Fatalf("encoded %d bytes, want %d", len(a), wantBytes)
+	}
+	// A different routing yields a different bitstream.
+	plan2 := ic.MustRoute([]Flow{AllReduce([]int{4, 5, 6}), Unicast(0, 1)})
+	if bytes.Equal(a, EncodeConfig(plan2)) {
+		t.Fatal("distinct plans encode identically")
+	}
+}
+
+// encodeBitsLen mirrors EncodeConfig's layout arithmetic.
+func encodeBitsLen(ic *Interconnect) int {
+	bits := 0
+	for _, e := range ic.Elements() {
+		bits += e.In*selWidth(e.Out) + 2
+	}
+	return bits
+}
+
+func TestSelWidth(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4}
+	for outs, want := range cases {
+		if got := selWidth(outs); got != want {
+			t.Errorf("selWidth(%d) = %d, want %d", outs, got, want)
+		}
+	}
+}
+
+func TestRegistryBadBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPhaseRegistry(NewInterconnect(2, 4), 0)
+}

@@ -1,0 +1,327 @@
+package fred
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ConflictError reports that the conflict graph at some recursion
+// level could not be colored with m colors (Section 5.3, Figure 7(j)).
+type ConflictError struct {
+	// Level is the recursion depth at which coloring failed (0 is the
+	// outermost input/output stage).
+	Level int
+	// Flows are the original flow indices involved at that level.
+	Flows []int
+	// M is the number of available colors (middle subnetworks).
+	M int
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("fred: routing conflict at level %d: flows %v cannot be %d-colored",
+		e.Level, e.Flows, e.M)
+}
+
+// Plan is a complete routing of a set of flows through an
+// interconnect: the configuration of every element plus the
+// middle-stage assignment decisions taken along the way.
+type Plan struct {
+	ic     *Interconnect
+	flows  []Flow
+	config map[int][]Connection // element ID → connections
+
+	// Assignments records, per recursion level, each flow's chosen
+	// middle subnetwork, in the form "level/path → flow → color".
+	Assignments []Assignment
+}
+
+// Assignment records one middle-stage choice for one flow.
+type Assignment struct {
+	Level int
+	Path  string // e.g. "mid[1]." prefixes identify the subnetwork
+	Flow  int    // index into the routed flow slice
+	Color int    // chosen middle subnetwork
+}
+
+// Flows returns the flows this plan routes.
+func (p *Plan) Flows() []Flow { return p.flows }
+
+// Connections returns the configured connections of one element.
+func (p *Plan) Connections(elemID int) []Connection { return p.config[elemID] }
+
+// ActiveReductions counts connections with the reduction feature
+// activated (the highlighted R/RD µswitches of Figure 7(h)).
+func (p *Plan) ActiveReductions() int {
+	n := 0
+	for _, conns := range p.config {
+		for _, c := range conns {
+			if c.Reduces() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ActiveDistributions counts connections with the distribution feature
+// activated.
+func (p *Plan) ActiveDistributions() int {
+	n := 0
+	for _, conns := range p.config {
+		for _, c := range conns {
+			if c.Distributes() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// String renders the plan's per-element configuration, for debugging
+// and the routing-explorer CLI.
+func (p *Plan) String() string {
+	var b strings.Builder
+	ids := make([]int, 0, len(p.config))
+	for id := range p.config {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		e := p.ic.element(id)
+		for _, c := range p.config[id] {
+			feat := ""
+			if c.Reduces() && c.Distributes() {
+				feat = " [RD]"
+			} else if c.Reduces() {
+				feat = " [R]"
+			} else if c.Distributes() {
+				feat = " [D]"
+			}
+			fmt.Fprintf(&b, "%-20s %v -> %v flow=%d%s\n", e.Label, sortedCopy(c.In), sortedCopy(c.Out), c.Flow, feat)
+		}
+	}
+	return b.String()
+}
+
+// localFlow is a flow projected into one recursion level: the ports
+// are local to the sub-interconnect, id tracks the original flow.
+type localFlow struct {
+	id       int
+	ips, ops []int
+}
+
+// Route routes the given flows concurrently through the interconnect
+// (Section 5.2). It returns a *ConflictError if the flows cannot all
+// be routed at once — the routing-conflict condition of Section 5.3.
+func (ic *Interconnect) Route(flows []Flow) (*Plan, error) {
+	if err := validateFlows(ic.p, flows); err != nil {
+		return nil, err
+	}
+	plan := &Plan{ic: ic, flows: flows, config: make(map[int][]Connection)}
+	local := make([]localFlow, len(flows))
+	for i, f := range flows {
+		local[i] = localFlow{id: i, ips: sortedCopy(f.IPs), ops: sortedCopy(f.OPs)}
+	}
+	if err := ic.routeStage(ic.root, local, plan, 0, ""); err != nil {
+		return nil, err
+	}
+	// Validate the produced configuration element by element.
+	for id, conns := range plan.config {
+		if err := validateConnections(ic.element(id), conns); err != nil {
+			return nil, fmt.Errorf("fred: internal error: %w", err)
+		}
+	}
+	return plan, nil
+}
+
+// MustRoute is Route but panics on error, for examples and tests of
+// known-routable patterns.
+func (ic *Interconnect) MustRoute(flows []Flow) *Plan {
+	p, err := ic.Route(flows)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func addConn(plan *Plan, e *Element, c Connection) {
+	plan.config[e.ID] = append(plan.config[e.ID], c)
+}
+
+// routeStage implements the recursive routing protocol: color the
+// conflict graph of the current level with m colors, configure the
+// input/output µswitches (activating reduction/distribution where a
+// flow owns both ports), then recurse into each middle subnetwork with
+// the projected sub-flows.
+func (ic *Interconnect) routeStage(st *stage, flows []localFlow, plan *Plan, level int, path string) error {
+	if len(flows) == 0 {
+		return nil
+	}
+	if st.base != nil {
+		for _, f := range flows {
+			addConn(plan, st.base, Connection{In: f.ips, Out: f.ops, Flow: f.id})
+		}
+		return nil
+	}
+
+	// Conflict graph: an edge joins two flows that share an input
+	// µswitch or an output µswitch (Section 5.2, first intuition).
+	n := len(flows)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	inSW := make([]map[int][]int, n)  // flow → input µswitch → local ports
+	outSW := make([]map[int][]int, n) // flow → output µswitch → local ports
+	oddIn := make([]bool, n)
+	oddOut := make([]bool, n)
+	for i, f := range flows {
+		inSW[i] = make(map[int][]int)
+		outSW[i] = make(map[int][]int)
+		for _, p := range f.ips {
+			if st.odd && p == 2*st.r {
+				oddIn[i] = true
+			} else {
+				inSW[i][p/2] = append(inSW[i][p/2], p%2)
+			}
+		}
+		for _, p := range f.ops {
+			if st.odd && p == 2*st.r {
+				oddOut[i] = true
+			} else {
+				outSW[i][p/2] = append(outSW[i][p/2], p%2)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			conflict := false
+			for s := range inSW[i] {
+				if _, ok := inSW[j][s]; ok {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				for s := range outSW[i] {
+					if _, ok := outSW[j][s]; ok {
+						conflict = true
+						break
+					}
+				}
+			}
+			if conflict {
+				adj[i][j] = true
+				adj[j][i] = true
+			}
+		}
+	}
+
+	colors, ok := colorGraph(adj, ic.m)
+	if !ok {
+		ids := make([]int, n)
+		for i, f := range flows {
+			ids[i] = f.id
+		}
+		return &ConflictError{Level: level, Flows: ids, M: ic.m}
+	}
+
+	// Configure this level and project sub-flows per middle subnetwork.
+	sub := make([][]localFlow, ic.m)
+	for i, f := range flows {
+		c := colors[i]
+		plan.Assignments = append(plan.Assignments, Assignment{Level: level, Path: path, Flow: f.id, Color: c})
+		var subIPs, subOPs []int
+		for s, ports := range inSW[i] {
+			addConn(plan, st.inputs[s], Connection{In: sortedCopy(ports), Out: []int{c}, Flow: f.id})
+			subIPs = append(subIPs, s)
+		}
+		if oddIn[i] {
+			addConn(plan, st.demux, Connection{In: []int{0}, Out: []int{c}, Flow: f.id})
+			subIPs = append(subIPs, st.r)
+		}
+		for s, ports := range outSW[i] {
+			addConn(plan, st.outputs[s], Connection{In: []int{c}, Out: sortedCopy(ports), Flow: f.id})
+			subOPs = append(subOPs, s)
+		}
+		if oddOut[i] {
+			addConn(plan, st.mux, Connection{In: []int{c}, Out: []int{0}, Flow: f.id})
+			subOPs = append(subOPs, st.r)
+		}
+		sub[c] = append(sub[c], localFlow{id: f.id, ips: sortedCopy(subIPs), ops: sortedCopy(subOPs)})
+	}
+	for c, flows := range sub {
+		if err := ic.routeStage(st.middles[c], flows, plan, level+1, fmt.Sprintf("%smid[%d].", path, c)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// colorGraph finds a proper coloring of the conflict graph with at
+// most m colors via exact backtracking, visiting vertices in
+// descending-degree order. Conflict graphs are small (one node per
+// concurrent flow), so exact search is cheap and — unlike greedy —
+// never reports a spurious conflict.
+func colorGraph(adj [][]bool, m int) ([]int, bool) {
+	n := len(adj)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	deg := make([]int, n)
+	for i := range adj {
+		for j := range adj[i] {
+			if adj[i][j] {
+				deg[i]++
+			}
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return deg[order[a]] > deg[order[b]] })
+
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var assign func(k int) bool
+	assign = func(k int) bool {
+		if k == n {
+			return true
+		}
+		v := order[k]
+		// Symmetry breaking: the first vertex can take color 0 only;
+		// later vertices may only use colors 0..(max used + 1).
+		maxUsed := -1
+		for i := 0; i < k; i++ {
+			if colors[order[i]] > maxUsed {
+				maxUsed = colors[order[i]]
+			}
+		}
+		limit := maxUsed + 1
+		if limit >= m {
+			limit = m - 1
+		}
+		for c := 0; c <= limit; c++ {
+			ok := true
+			for u := 0; u < n; u++ {
+				if adj[v][u] && colors[u] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				colors[v] = c
+				if assign(k + 1) {
+					return true
+				}
+				colors[v] = -1
+			}
+		}
+		return false
+	}
+	if !assign(0) {
+		return nil, false
+	}
+	return colors, true
+}

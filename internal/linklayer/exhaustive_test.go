@@ -1,0 +1,38 @@
+package linklayer
+
+import (
+	"testing"
+
+	"github.com/wafernet/fred/internal/sim"
+)
+
+// TestExhaustiveLossRecovery sweeps every (loss period, message size)
+// combination in a broad window and requires bounded-step completion —
+// the regression net for the Go-Back-N/watchdog state machine (a
+// float64 round-off once livelocked the watchdog at loss=3,
+// packets=189).
+func TestExhaustiveLossRecovery(t *testing.T) {
+	for loss := 3; loss <= 19; loss++ {
+		for packets := 1; packets <= 200; packets++ {
+			cfg := DefaultConfig()
+			cfg.LossEvery = loss
+			sched := sim.NewScheduler()
+			l := New(sched, cfg)
+			completed := false
+			l.Send(VCMP, float64(packets)*DataPacketBytes, func() { completed = true })
+			steps := 0
+			for sched.Step() {
+				steps++
+				if steps > 2_000_000 {
+					t.Fatalf("LIVELOCK loss=%d packets=%d (delivered %d, acked %d, next %d, inflight %d, retx %d, sendq %d)",
+						loss, packets, l.delivered[VCMP], l.ackedSeq[VCMP], l.nextSeq[VCMP],
+						len(l.inFlight[VCMP]), len(l.retxQ[VCMP]), len(l.sendQ[VCMP]))
+				}
+			}
+			if !completed {
+				t.Fatalf("DEADLOCK loss=%d packets=%d (delivered %d, acked %d, next %d)",
+					loss, packets, l.delivered[VCMP], l.ackedSeq[VCMP], l.nextSeq[VCMP])
+			}
+		}
+	}
+}

@@ -1,0 +1,503 @@
+// Package linklayer is a packet-level model of FRED's link protocol
+// (Section 6.2.3 of the paper): Virtual Cut-Through switching with
+// credit-based backpressure, four virtual circuits per port (three
+// data VCs dedicated to the MP, DP and PP communication classes plus
+// one control VC for ACK/NACK traffic), 4 KB data packets and 512 B
+// control packets built from 512 B flits, Go-Back-N retransmission
+// with one cumulative ACK per 16 data packets, and 24 KB per-VC data
+// buffers sized to link_BW × RTT so a freshly resumed (preempted)
+// communication can immediately send at full link bandwidth.
+//
+// The flow-level simulator (internal/netsim) abstracts all of this
+// away behind fair-shared link bandwidth; this package exists to
+// validate the protocol parameters the paper chose: that the buffer
+// sizing sustains line rate, that the cumulative-ACK policy keeps
+// acknowledgement overhead under 1% of link bandwidth, and that
+// Go-Back-N recovers exactly-once in-order delivery under loss.
+package linklayer
+
+import (
+	"fmt"
+
+	"github.com/wafernet/fred/internal/sim"
+)
+
+// Protocol constants from Section 6.2.3.
+const (
+	// DataPacketBytes is the data packet size (4 KB).
+	DataPacketBytes = 4096.0
+	// ControlPacketBytes is the ACK/NACK packet size (512 B).
+	ControlPacketBytes = 512.0
+	// FlitBytes is the flit size (512 B).
+	FlitBytes = 512.0
+	// HeaderBytes is the packet header (6 B, large sequence numbers).
+	HeaderBytes = 6.0
+	// AckInterval is the cumulative-ACK period in data packets.
+	AckInterval = 16
+	// DataVCBufferBytes is the per-data-VC input buffer (24 KB =
+	// link_BW × RTT at 3 TB/s).
+	DataVCBufferBytes = 24 * 1024.0
+	// ControlVCBufferBytes is the control-VC input buffer (2 KB).
+	ControlVCBufferBytes = 2 * 1024.0
+	// DefaultLinkBW is the NPU port bandwidth (3 TB/s).
+	DefaultLinkBW = 3e12
+	// DefaultLinkLatency is the per-hop propagation delay of the
+	// credit loop (the paper's 24 KB = link_BW × RTT sizing implies an
+	// ~8 ns loop at 3 TB/s; 3 ns each way leaves room for one packet's
+	// serialization).
+	DefaultLinkLatency = 3e-9
+)
+
+// VC identifies a virtual circuit on a port.
+type VC int
+
+// The four VCs of Section 6.2.3, in descending scheduling priority.
+const (
+	VCControl VC = iota // ACK/NACK and control messages
+	VCMP                // model-parallel data
+	VCPP                // pipeline-parallel data
+	VCDP                // data-parallel data
+	NumVCs
+)
+
+func (v VC) String() string {
+	switch v {
+	case VCControl:
+		return "ctrl"
+	case VCMP:
+		return "MP"
+	case VCPP:
+		return "PP"
+	case VCDP:
+		return "DP"
+	}
+	return fmt.Sprintf("VC(%d)", int(v))
+}
+
+// bufferBytes returns the VC's input-buffer capacity.
+func (v VC) bufferBytes() float64 {
+	if v == VCControl {
+		return ControlVCBufferBytes
+	}
+	return DataVCBufferBytes
+}
+
+// Packet is one link-layer packet.
+type Packet struct {
+	VC      VC
+	Seq     uint64
+	Bytes   float64
+	Control bool
+	// Ack/Nack mark control packets; AckSeq is cumulative.
+	Ack, Nack bool
+	AckSeq    uint64
+}
+
+// Config parameterizes a Link.
+type Config struct {
+	Bandwidth  float64 // bytes/second
+	Latency    float64 // one-way propagation, seconds
+	DataBuffer float64 // per-data-VC receiver buffer, bytes
+	CtrlBuffer float64
+	// DrainRate is the receiver's consumption rate (bytes/second);
+	// 0 means consume instantly (sink).
+	DrainRate float64
+	// LossEvery drops every n-th data packet on first transmission
+	// (0 disables loss injection). Retransmissions are never dropped,
+	// mirroring a transient-fault model.
+	LossEvery int
+	// RetxTimeout is the sender's retransmission timeout; 0 selects a
+	// generous default (64 packet times + 8 propagation delays). The
+	// timeout covers the case Go-Back-N's NACK cannot: a dropped
+	// packet with no successor to expose the gap.
+	RetxTimeout float64
+}
+
+// retxTimeout returns the effective timeout.
+func (c Config) retxTimeout() float64 {
+	if c.RetxTimeout > 0 {
+		return c.RetxTimeout
+	}
+	return 256*(DataPacketBytes+HeaderBytes)/c.Bandwidth + 64*c.Latency
+}
+
+// DefaultConfig returns the paper's link parameters with an instant
+// sink.
+func DefaultConfig() Config {
+	return Config{
+		Bandwidth:  DefaultLinkBW,
+		Latency:    DefaultLinkLatency,
+		DataBuffer: DataVCBufferBytes,
+		CtrlBuffer: ControlVCBufferBytes,
+	}
+}
+
+// Stats aggregates a link endpoint's counters.
+type Stats struct {
+	DataPacketsSent      uint64
+	DataPacketsDelivered uint64 // in-order, exactly-once deliveries
+	Retransmissions      uint64
+	DroppedPackets       uint64
+	AckPackets           uint64
+	NackPackets          uint64
+	DataBytesOnWire      float64 // includes retransmissions
+	ControlBytesOnWire   float64
+	GoodputBytes         float64 // exactly-once delivered payload
+}
+
+// AckOverhead returns control bytes as a fraction of data bytes on the
+// wire — the quantity the paper bounds below 1%.
+func (s Stats) AckOverhead() float64 {
+	if s.DataBytesOnWire == 0 {
+		return 0
+	}
+	return s.ControlBytesOnWire / s.DataBytesOnWire
+}
+
+// Link is a unidirectional data link with its reverse control channel,
+// one sender and one receiver, implementing the Section 6.2.3
+// protocol. It runs on a shared discrete-event scheduler.
+type Link struct {
+	cfg   Config
+	sched *sim.Scheduler
+	stats Stats
+
+	// Sender state, per data VC.
+	sendQ        [NumVCs][]float64 // unsent message bytes split into packets
+	retxQ        [NumVCs][]Packet  // retransmissions, original sequence numbers
+	nextSeq      [NumVCs]uint64    // next fresh sequence number
+	ackedSeq     [NumVCs]uint64    // cumulative ack received (packets < ackedSeq delivered)
+	inFlight     [NumVCs][]Packet  // sent, unacked (the Go-Back-N window)
+	credits      [NumVCs]float64   // receiver buffer space known free
+	sending      bool
+	sentCount    [NumVCs]uint64 // for loss injection
+	highestSent  [NumVCs]uint64 // to classify retransmissions
+	lastActivity [NumVCs]sim.Time
+	watchdog     [NumVCs]bool
+	onComplete   func()
+
+	// Receiver state.
+	expectSeq  [NumVCs]uint64
+	buffered   [NumVCs]float64
+	nacked     [NumVCs]bool // NACK outstanding for current gap
+	delivered  [NumVCs]uint64
+	sinceAck   [NumVCs]int
+	drainUntil [NumVCs]sim.Time // receiver consumes packets serially
+}
+
+// New creates a link on the scheduler.
+func New(sched *sim.Scheduler, cfg Config) *Link {
+	if cfg.Bandwidth <= 0 {
+		panic("linklayer: bandwidth must be positive")
+	}
+	if cfg.DataBuffer <= 0 || cfg.CtrlBuffer <= 0 {
+		panic("linklayer: buffers must be positive")
+	}
+	l := &Link{cfg: cfg, sched: sched}
+	for vc := VC(0); vc < NumVCs; vc++ {
+		if vc == VCControl {
+			l.credits[vc] = cfg.CtrlBuffer
+		} else {
+			l.credits[vc] = cfg.DataBuffer
+		}
+	}
+	return l
+}
+
+// Stats returns a snapshot of the counters.
+func (l *Link) Stats() Stats { return l.stats }
+
+// Delivered returns the packets delivered in order on a VC.
+func (l *Link) Delivered(vc VC) uint64 { return l.delivered[vc] }
+
+// Send enqueues a message of the given bytes on a data VC, segmented
+// into 4 KB packets. onComplete fires when every packet of every
+// message so far has been delivered and acknowledged.
+func (l *Link) Send(vc VC, bytes float64, onComplete func()) {
+	if vc == VCControl {
+		panic("linklayer: control VC is reserved for ACK/NACK")
+	}
+	for bytes > 0 {
+		p := DataPacketBytes
+		if bytes < p {
+			p = bytes
+		}
+		l.sendQ[vc] = append(l.sendQ[vc], p)
+		bytes -= p
+	}
+	l.onComplete = onComplete
+	l.pump()
+}
+
+// pump transmits the next packet if the wire is free, choosing the
+// highest-priority VC with both queued data and credit.
+// Retransmissions (with their original sequence numbers) go ahead of
+// fresh packets.
+func (l *Link) pump() {
+	if l.sending {
+		return
+	}
+	// Control traffic is generated at the receiver side and modelled
+	// on the reverse channel; here we pick a data VC.
+	for vc := VCMP; vc < NumVCs; vc++ {
+		// Drop retransmissions that a racing cumulative ACK already
+		// covered (their credits were restored at goBackN time, and
+		// skipping them charges nothing).
+		for len(l.retxQ[vc]) > 0 && l.retxQ[vc][0].Seq < l.ackedSeq[vc] {
+			l.retxQ[vc] = l.retxQ[vc][1:]
+		}
+		if len(l.retxQ[vc]) > 0 {
+			pkt := l.retxQ[vc][0]
+			if l.credits[vc] < pkt.Bytes {
+				continue
+			}
+			l.retxQ[vc] = l.retxQ[vc][1:]
+			l.credits[vc] -= pkt.Bytes
+			l.transmit(pkt)
+			return
+		}
+		if len(l.sendQ[vc]) == 0 {
+			continue
+		}
+		size := l.sendQ[vc][0]
+		if l.credits[vc] < size {
+			continue
+		}
+		l.sendQ[vc] = l.sendQ[vc][1:]
+		l.credits[vc] -= size
+		pkt := Packet{VC: vc, Seq: l.nextSeq[vc], Bytes: size}
+		l.nextSeq[vc]++
+		l.transmit(pkt)
+		return
+	}
+}
+
+// transmit serialises a packet onto the wire.
+func (l *Link) transmit(pkt Packet) {
+	l.sending = true
+	wireBytes := pkt.Bytes + HeaderBytes
+	txTime := wireBytes / l.cfg.Bandwidth
+	l.stats.DataBytesOnWire += wireBytes
+	l.stats.DataPacketsSent++
+	isRetx := pkt.Seq < l.highestSent[pkt.VC]
+	if isRetx {
+		l.stats.Retransmissions++
+	} else {
+		l.highestSent[pkt.VC] = pkt.Seq + 1
+	}
+	l.sentCount[pkt.VC]++
+	drop := false
+	if !isRetx && l.cfg.LossEvery > 0 && l.sentCount[pkt.VC]%uint64(l.cfg.LossEvery) == 0 {
+		drop = true
+	}
+	l.inFlight[pkt.VC] = append(l.inFlight[pkt.VC], pkt)
+	l.lastActivity[pkt.VC] = l.sched.Now()
+	l.armWatchdog(pkt.VC)
+	l.sched.After(txTime, func() {
+		l.sending = false
+		if drop {
+			l.stats.DroppedPackets++
+		} else {
+			p := pkt
+			l.sched.After(l.cfg.Latency, func() { l.receive(p) })
+		}
+		l.pump()
+	})
+}
+
+// receive handles packet arrival at the far end.
+func (l *Link) receive(pkt Packet) {
+	vc := pkt.VC
+	if pkt.Seq < l.expectSeq[vc] {
+		// Duplicate from a spurious or Go-Back-N retransmission: it
+		// never occupies the buffer, so its credit returns right away,
+		// and a fresh cumulative ACK resynchronises the sender.
+		l.sched.After(l.cfg.Latency, func() {
+			l.credits[vc] += pkt.Bytes
+			l.lastActivity[vc] = l.sched.Now()
+			l.pump()
+		})
+		l.sendControl(Packet{VC: vc, Control: true, Ack: true, AckSeq: l.expectSeq[vc]})
+		return
+	}
+	if pkt.Seq > l.expectSeq[vc] {
+		// A gap: Go-Back-N discards and NACKs the expected sequence
+		// (once per gap).
+		if !l.nacked[vc] {
+			l.nacked[vc] = true
+			l.sendControl(Packet{VC: vc, Control: true, Nack: true, AckSeq: l.expectSeq[vc]})
+		}
+		return
+	}
+	l.nacked[vc] = false
+	l.expectSeq[vc]++
+	l.delivered[vc]++
+	l.stats.DataPacketsDelivered++
+	l.stats.GoodputBytes += pkt.Bytes
+	l.buffered[vc] += pkt.Bytes
+
+	drain := func() {
+		l.buffered[vc] -= pkt.Bytes
+		// Credit return travels on the reverse channel.
+		l.sched.After(l.cfg.Latency, func() {
+			l.credits[vc] += pkt.Bytes
+			l.lastActivity[vc] = l.sched.Now()
+			l.pump()
+		})
+	}
+	if l.cfg.DrainRate > 0 {
+		// The receiver consumes packets serially at its drain rate.
+		start := l.sched.Now()
+		if l.drainUntil[vc] > start {
+			start = l.drainUntil[vc]
+		}
+		l.drainUntil[vc] = start + pkt.Bytes/l.cfg.DrainRate
+		l.sched.At(l.drainUntil[vc], drain)
+	} else {
+		drain()
+	}
+
+	l.sinceAck[vc]++
+	if l.sinceAck[vc] >= AckInterval {
+		l.sinceAck[vc] = 0
+		l.sendControl(Packet{VC: vc, Control: true, Ack: true, AckSeq: l.expectSeq[vc]})
+	} else if l.windowDrained(vc) {
+		// Tail ACK: flush the final partial window so the sender can
+		// complete.
+		l.sendControl(Packet{VC: vc, Control: true, Ack: true, AckSeq: l.expectSeq[vc]})
+	}
+}
+
+// windowDrained reports whether the receiver has seen every packet the
+// sender has queued so far (tail condition).
+func (l *Link) windowDrained(vc VC) bool {
+	return len(l.sendQ[vc]) == 0 && l.expectSeq[vc] == l.nextSeq[vc]
+}
+
+// sendControl models an ACK/NACK on the reverse control channel.
+func (l *Link) sendControl(pkt Packet) {
+	l.stats.ControlBytesOnWire += ControlPacketBytes
+	if pkt.Ack {
+		l.stats.AckPackets++
+	}
+	if pkt.Nack {
+		l.stats.NackPackets++
+	}
+	l.sched.After(ControlPacketBytes/l.cfg.Bandwidth+l.cfg.Latency, func() { l.handleControl(pkt) })
+}
+
+// handleControl processes an ACK/NACK at the sender.
+func (l *Link) handleControl(pkt Packet) {
+	vc := pkt.VC
+	l.lastActivity[vc] = l.sched.Now()
+	if pkt.Ack {
+		// Cumulative: drop acknowledged packets from the window.
+		for len(l.inFlight[vc]) > 0 && l.inFlight[vc][0].Seq < pkt.AckSeq {
+			l.inFlight[vc] = l.inFlight[vc][1:]
+		}
+		if pkt.AckSeq > l.ackedSeq[vc] {
+			l.ackedSeq[vc] = pkt.AckSeq
+		}
+		if l.allComplete() && l.onComplete != nil {
+			done := l.onComplete
+			l.onComplete = nil
+			done()
+		}
+		return
+	}
+	// NACK: Go-Back-N — retransmit everything from the NACKed
+	// sequence. The paper forwards the NACK to every source port of
+	// the flow; with a single sender that is this retransmission.
+	l.goBackN(vc, pkt.AckSeq)
+}
+
+// armWatchdog starts the retransmission watchdog for a VC: if the
+// window sees no activity (ACKs, credit returns or new transmissions)
+// for a full timeout, Go-Back-N replays from the last cumulative ACK.
+// This covers the case a NACK cannot: a dropped packet with no
+// successor to expose the gap. Activity-based re-arming avoids
+// spurious retransmissions when credit backpressure legitimately slows
+// the ACK cadence.
+func (l *Link) armWatchdog(vc VC) {
+	if l.watchdog[vc] {
+		return
+	}
+	l.watchdog[vc] = true
+	timeout := l.cfg.retxTimeout()
+	var fire func()
+	fire = func() {
+		if len(l.inFlight[vc]) == 0 && len(l.sendQ[vc]) == 0 && len(l.retxQ[vc]) == 0 {
+			l.watchdog[vc] = false
+			return
+		}
+		idle := l.sched.Now() - l.lastActivity[vc]
+		// The epsilon absorbs float64 round-off: an idle time one ulp
+		// short of the timeout must count as expired, or the watchdog
+		// re-arms with a sub-attosecond wait forever.
+		if idle >= timeout*(1-1e-9) {
+			l.lastActivity[vc] = l.sched.Now()
+			l.goBackN(vc, l.ackedSeq[vc])
+			l.sched.After(timeout, fire)
+			return
+		}
+		l.sched.After(timeout-idle, fire)
+	}
+	l.sched.After(timeout, fire)
+}
+
+// goBackN queues every unacknowledged packet from the given sequence
+// for retransmission with its original sequence number, restoring the
+// credits their voided transmissions consumed.
+func (l *Link) goBackN(vc VC, from uint64) {
+	if from < l.ackedSeq[vc] {
+		from = l.ackedSeq[vc]
+	}
+	// Deduplicate by sequence (a packet may sit in inFlight more than
+	// once when an earlier retransmission is also outstanding).
+	seen := make(map[uint64]bool, len(l.inFlight[vc]))
+	for _, p := range l.retxQ[vc] {
+		seen[p.Seq] = true
+	}
+	for _, p := range l.inFlight[vc] {
+		if p.Seq < from {
+			continue
+		}
+		l.credits[vc] += p.Bytes // this transmission's charge is void
+		if !seen[p.Seq] {
+			seen[p.Seq] = true
+			l.retxQ[vc] = append(l.retxQ[vc], p)
+		}
+	}
+	l.inFlight[vc] = l.inFlight[vc][:0]
+	sortPacketsBySeq(l.retxQ[vc])
+	l.pump()
+}
+
+// allComplete reports whether every queued packet on every VC has been
+// delivered and acknowledged.
+func (l *Link) allComplete() bool {
+	for vc := VCMP; vc < NumVCs; vc++ {
+		if len(l.sendQ[vc]) > 0 || len(l.retxQ[vc]) > 0 || l.ackedSeq[vc] != l.nextSeq[vc] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortPacketsBySeq keeps retransmissions in sequence order (insertion
+// sort; the queue is tiny).
+func sortPacketsBySeq(ps []Packet) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Seq < ps[j-1].Seq; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// BufferForLineRate returns the minimum per-VC buffer that sustains
+// full link bandwidth: bandwidth × round-trip propagation plus one
+// maximum packet of serialization slack — the paper's link_BW × RTT
+// = 24 KB rule at 3 TB/s.
+func BufferForLineRate(bandwidth, latency float64) float64 {
+	return bandwidth*2*latency + DataPacketBytes + HeaderBytes
+}

@@ -1,0 +1,256 @@
+package linklayer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/wafernet/fred/internal/sim"
+)
+
+func run(t *testing.T, cfg Config, vc VC, bytes float64) (*Link, float64) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	l := New(sched, cfg)
+	var done sim.Time = -1
+	l.Send(vc, bytes, func() { done = sched.Now() })
+	sched.Run()
+	if done < 0 {
+		t.Fatalf("transfer of %g bytes never completed (stats %+v)", bytes, l.Stats())
+	}
+	return l, done
+}
+
+func TestLineRateWithPaperBuffer(t *testing.T) {
+	// 24 KB per-VC buffer = BW × RTT sustains full 3 TB/s.
+	cfg := DefaultConfig()
+	const bytes = 8 * 1024 * 1024
+	l, done := run(t, cfg, VCMP, bytes)
+	ideal := bytes / cfg.Bandwidth
+	if done > ideal*1.05 {
+		t.Fatalf("transfer took %.3gs, ideal %.3gs — buffer does not sustain line rate", done, ideal)
+	}
+	if l.Stats().Retransmissions != 0 {
+		t.Fatalf("unexpected retransmissions: %+v", l.Stats())
+	}
+}
+
+func TestSmallBufferThrottles(t *testing.T) {
+	// A buffer below BW×RTT must reduce throughput: the sender stalls
+	// waiting for credits.
+	cfg := DefaultConfig()
+	cfg.DataBuffer = DataPacketBytes // one packet of buffering
+	const bytes = 8 * 1024 * 1024
+	_, done := run(t, cfg, VCMP, bytes)
+	ideal := bytes / cfg.Bandwidth
+	if done < ideal*1.5 {
+		t.Fatalf("one-packet buffer finished in %.3gs vs ideal %.3gs; expected a credit stall", done, ideal)
+	}
+}
+
+func TestBufferForLineRateRule(t *testing.T) {
+	// The paper's 24 KB sizing covers the line-rate requirement at the
+	// wafer's credit-loop latency.
+	need := BufferForLineRate(DefaultLinkBW, DefaultLinkLatency)
+	if need > DataVCBufferBytes {
+		t.Fatalf("BufferForLineRate = %g exceeds the paper's 24 KB", need)
+	}
+	if need < DataVCBufferBytes*0.8 {
+		t.Fatalf("BufferForLineRate = %g; the 24 KB choice would be wasteful", need)
+	}
+}
+
+func TestAckOverheadUnderOnePercent(t *testing.T) {
+	// Cumulative ACK per 16 × 4 KB packets: 512 B / 65 KB ≈ 0.78%.
+	cfg := DefaultConfig()
+	l, _ := run(t, cfg, VCDP, 64*1024*1024)
+	if ov := l.Stats().AckOverhead(); ov >= 0.01 {
+		t.Fatalf("ack overhead %.3f%% ≥ 1%% (Section 6.2.3 bound)", ov*100)
+	}
+}
+
+func TestExactlyOnceDeliveryWithoutLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	const bytes = 1 << 20
+	l, _ := run(t, cfg, VCMP, bytes)
+	wantPackets := uint64(bytes / DataPacketBytes)
+	if got := l.Delivered(VCMP); got != wantPackets {
+		t.Fatalf("delivered %d packets, want %d", got, wantPackets)
+	}
+	if g := l.Stats().GoodputBytes; g != bytes {
+		t.Fatalf("goodput %g, want %g", g, float64(bytes))
+	}
+}
+
+func TestGoBackNRecoversFromLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LossEvery = 7 // drop every 7th transmission
+	const bytes = 2 << 20
+	l, _ := run(t, cfg, VCMP, bytes)
+	st := l.Stats()
+	if st.DroppedPackets == 0 {
+		t.Fatal("loss injection did not fire")
+	}
+	if st.Retransmissions == 0 {
+		t.Fatal("no retransmissions despite drops")
+	}
+	if st.GoodputBytes != bytes {
+		t.Fatalf("goodput %g, want %g after recovery", st.GoodputBytes, float64(bytes))
+	}
+	wantPackets := uint64(bytes / DataPacketBytes)
+	if got := l.Delivered(VCMP); got != wantPackets {
+		t.Fatalf("delivered %d packets, want %d", got, wantPackets)
+	}
+}
+
+func TestTailDropRecoveredByTimeout(t *testing.T) {
+	// Drop the very last packet: no successor exposes the gap, so the
+	// sender's timeout must recover it.
+	cfg := DefaultConfig()
+	const packets = 8
+	cfg.LossEvery = packets // only the final transmission drops
+	l, _ := run(t, cfg, VCMP, packets*DataPacketBytes)
+	if l.Delivered(VCMP) != packets {
+		t.Fatalf("delivered %d packets, want %d", l.Delivered(VCMP), packets)
+	}
+	if l.Stats().Retransmissions == 0 {
+		t.Fatal("timeout retransmission did not fire")
+	}
+}
+
+func TestNackCount(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LossEvery = 5
+	l, _ := run(t, cfg, VCMP, 1<<20)
+	st := l.Stats()
+	if st.NackPackets == 0 {
+		t.Fatal("drops produced no NACKs")
+	}
+	if st.NackPackets > st.DroppedPackets+2 {
+		t.Fatalf("per-gap NACK suppression failed: %d NACKs for %d drops",
+			st.NackPackets, st.DroppedPackets)
+	}
+}
+
+func TestVCPriorityMPFirst(t *testing.T) {
+	// With MP and DP both backlogged, the MP VC must drain first:
+	// step the scheduler and record when each VC completes.
+	sched := sim.NewScheduler()
+	l := New(sched, DefaultConfig())
+	l.Send(VCDP, 512*1024, nil)
+	l.Send(VCMP, 512*1024, nil)
+	var mpAt, dpAt sim.Time
+	const packets = 512 * 1024 / DataPacketBytes
+	for sched.Step() {
+		if mpAt == 0 && l.Delivered(VCMP) == packets {
+			mpAt = sched.Now()
+		}
+		if dpAt == 0 && l.Delivered(VCDP) == packets {
+			dpAt = sched.Now()
+		}
+	}
+	if mpAt == 0 || dpAt == 0 {
+		t.Fatalf("VCs did not drain: MP %d, DP %d", l.Delivered(VCMP), l.Delivered(VCDP))
+	}
+	if mpAt >= dpAt {
+		t.Fatalf("MP (prio) finished at %g, DP at %g; MP must win the link", mpAt, dpAt)
+	}
+}
+
+func TestDrainRateBackpressure(t *testing.T) {
+	// A slow receiver throttles the sender via credits to its drain
+	// rate.
+	cfg := DefaultConfig()
+	cfg.DrainRate = cfg.Bandwidth / 4
+	const bytes = 4 << 20
+	_, done := run(t, cfg, VCPP, bytes)
+	ideal := bytes / cfg.DrainRate
+	if done < ideal*0.95 {
+		t.Fatalf("finished in %.3gs, below drain-rate bound %.3gs", done, ideal)
+	}
+	if done > ideal*1.3 {
+		t.Fatalf("finished in %.3gs, far above drain-rate bound %.3gs", done, ideal)
+	}
+}
+
+func TestControlVCReserved(t *testing.T) {
+	sched := sim.NewScheduler()
+	l := New(sched, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send on control VC did not panic")
+		}
+	}()
+	l.Send(VCControl, 1024, nil)
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	sched := sim.NewScheduler()
+	for _, cfg := range []Config{
+		{Bandwidth: 0, DataBuffer: 1, CtrlBuffer: 1},
+		{Bandwidth: 1, DataBuffer: 0, CtrlBuffer: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(sched, cfg)
+		}()
+	}
+}
+
+func TestVCStrings(t *testing.T) {
+	if VCControl.String() != "ctrl" || VCMP.String() != "MP" || VCDP.String() != "DP" || VCPP.String() != "PP" {
+		t.Fatal("VC names wrong")
+	}
+	if VCControl.bufferBytes() != ControlVCBufferBytes || VCMP.bufferBytes() != DataVCBufferBytes {
+		t.Fatal("VC buffer sizes wrong")
+	}
+}
+
+// Property: for any loss pattern and message size, every packet is
+// delivered exactly once, in order, with correct goodput.
+func TestPropertyReliableDelivery(t *testing.T) {
+	f := func(lossSel, sizeSel uint8) bool {
+		cfg := DefaultConfig()
+		cfg.LossEvery = int(lossSel%17) + 3
+		packets := int(sizeSel%200) + 1
+		bytes := float64(packets) * DataPacketBytes
+		sched := sim.NewScheduler()
+		l := New(sched, cfg)
+		completed := false
+		l.Send(VCMP, bytes, func() { completed = true })
+		sched.Run()
+		return completed &&
+			l.Delivered(VCMP) == uint64(packets) &&
+			l.Stats().GoodputBytes == bytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: goodput never exceeds wire bytes, and wire bytes grow with
+// loss (retransmission overhead is visible and bounded).
+func TestPropertyRetransmissionAccounting(t *testing.T) {
+	f := func(lossSel uint8) bool {
+		cfg := DefaultConfig()
+		loss := int(lossSel%11) + 4
+		cfg.LossEvery = loss
+		sched := sim.NewScheduler()
+		l := New(sched, cfg)
+		ok := false
+		const bytes = 256 * DataPacketBytes
+		l.Send(VCDP, bytes, func() { ok = true })
+		sched.Run()
+		st := l.Stats()
+		if !ok || st.GoodputBytes != bytes {
+			return false
+		}
+		return st.DataBytesOnWire >= bytes && st.Retransmissions > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

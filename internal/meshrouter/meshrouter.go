@@ -1,0 +1,350 @@
+// Package meshrouter is a cycle-accurate, flit-level model of the
+// baseline wafer's 2D-mesh network-on-wafer: one router per NPU with
+// five ports (North/South/East/West/Local), X-Y dimension-order
+// routing (deadlock-free, as used by the paper's baseline and real
+// systems, Section 7.2), wormhole switching with credit-based
+// backpressure, and round-robin output arbitration.
+//
+// The flow-level simulator (internal/netsim) abstracts mesh links as
+// fair-shared pipes; this package validates that abstraction from
+// below: a contended channel really is time-shared ~fairly by the
+// router's arbiter, X-Y routes match the topology's, and permutation
+// traffic drains without deadlock.
+package meshrouter
+
+import "fmt"
+
+// Direction indexes a router port.
+type Direction int
+
+// Router ports.
+const (
+	Local Direction = iota
+	North
+	South
+	East
+	West
+	numPorts
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Local:
+		return "local"
+	case North:
+		return "north"
+	case South:
+		return "south"
+	case East:
+		return "east"
+	case West:
+		return "west"
+	}
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+// Config parameterizes the mesh NoC.
+type Config struct {
+	W, H int
+	// BufferFlits is each input port's FIFO capacity.
+	BufferFlits int
+}
+
+// DefaultConfig returns the baseline's 5×4 mesh with 4-flit input
+// buffers (two 512 B flits of slack beyond the 2-flit credit loop).
+func DefaultConfig() Config { return Config{W: 5, H: 4, BufferFlits: 4} }
+
+// flit is one unit of transfer.
+type flit struct {
+	msg  int // message index
+	dst  int // destination NPU
+	tail bool
+}
+
+// fifo is an input-port buffer.
+type fifo struct {
+	q []flit
+	// owner is the message currently holding this input's route
+	// (wormhole: flits of one packet stay contiguous).
+}
+
+// router is one mesh node's switch.
+type router struct {
+	in [numPorts]fifo
+	// outOwner[d] is the message that currently owns output d, or -1.
+	outOwner [numPorts]int
+	// rrNext[d] is the round-robin arbitration pointer for output d.
+	rrNext [numPorts]int
+}
+
+// Message is an injected transfer.
+type Message struct {
+	Src, Dst int
+	Flits    int
+	// Injected and Delivered are cycle stamps filled by Run.
+	Injected  int
+	Delivered int
+}
+
+// Mesh is the NoC simulator instance.
+type Mesh struct {
+	cfg     Config
+	routers []*router
+	msgs    []*Message
+	// pending injections per source, in order.
+	sendQ map[int][]int // src → message indices
+	// flitsLeft tracks each message's flits not yet injected.
+	flitsLeft []int
+	delivered []int // flits delivered per message
+	cycles    int
+	// channel utilization: busy cycles per (node, direction-out).
+	busy map[[2]int]int
+}
+
+// New creates an empty mesh NoC.
+func New(cfg Config) *Mesh {
+	if cfg.W < 2 || cfg.H < 2 {
+		panic("meshrouter: mesh too small")
+	}
+	if cfg.BufferFlits < 1 {
+		panic("meshrouter: need at least one buffer flit")
+	}
+	m := &Mesh{cfg: cfg, sendQ: make(map[int][]int), busy: make(map[[2]int]int)}
+	for i := 0; i < cfg.W*cfg.H; i++ {
+		r := &router{}
+		for d := range r.outOwner {
+			r.outOwner[d] = -1
+		}
+		m.routers = append(m.routers, r)
+	}
+	return m
+}
+
+// Inject queues a message of the given flit count from src to dst.
+// Messages from one source are injected in order.
+func (m *Mesh) Inject(src, dst, flits int) *Message {
+	if flits < 1 {
+		panic("meshrouter: message needs at least one flit")
+	}
+	msg := &Message{Src: src, Dst: dst, Flits: flits, Delivered: -1}
+	idx := len(m.msgs)
+	m.msgs = append(m.msgs, msg)
+	m.sendQ[src] = append(m.sendQ[src], idx)
+	m.flitsLeft = append(m.flitsLeft, flits)
+	m.delivered = append(m.delivered, 0)
+	return msg
+}
+
+func (m *Mesh) coord(i int) (int, int) { return i % m.cfg.W, i / m.cfg.W }
+func (m *Mesh) index(x, y int) int     { return y*m.cfg.W + x }
+
+// route returns the output direction at node cur toward dst (X first).
+func (m *Mesh) route(cur, dst int) Direction {
+	cx, cy := m.coord(cur)
+	dx, dy := m.coord(dst)
+	switch {
+	case dx > cx:
+		return East
+	case dx < cx:
+		return West
+	case dy > cy:
+		return South
+	case dy < cy:
+		return North
+	default:
+		return Local
+	}
+}
+
+// neighbor returns the node reached from cur via direction d.
+func (m *Mesh) neighbor(cur int, d Direction) int {
+	x, y := m.coord(cur)
+	switch d {
+	case East:
+		x++
+	case West:
+		x--
+	case South:
+		y++
+	case North:
+		y--
+	}
+	if x < 0 || x >= m.cfg.W || y < 0 || y >= m.cfg.H {
+		panic("meshrouter: route left the mesh")
+	}
+	return m.index(x, y)
+}
+
+// opposite maps an output direction to the receiver's input port.
+func opposite(d Direction) Direction {
+	switch d {
+	case East:
+		return West
+	case West:
+		return East
+	case North:
+		return South
+	case South:
+		return North
+	}
+	return Local
+}
+
+// Run simulates until every injected message is delivered, returning
+// the cycle count. It panics if the network stops making progress
+// (impossible under X-Y routing unless the model is broken).
+func (m *Mesh) Run() int {
+	const stallLimit = 1 << 16
+	stall := 0
+	for !m.done() {
+		if m.step() {
+			stall = 0
+		} else {
+			stall++
+			if stall > stallLimit {
+				panic("meshrouter: deadlock or livelock detected")
+			}
+		}
+		m.cycles++
+	}
+	return m.cycles
+}
+
+// Cycles returns the simulated cycle count so far.
+func (m *Mesh) Cycles() int { return m.cycles }
+
+// ChannelBusy returns the busy-cycle count of the output channel at
+// node in direction d.
+func (m *Mesh) ChannelBusy(node int, d Direction) int { return m.busy[[2]int{node, int(d)}] }
+
+func (m *Mesh) done() bool {
+	for i := range m.msgs {
+		if m.msgs[i].Delivered < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// step advances one cycle; returns whether any flit moved.
+type move struct {
+	fromNode int
+	fromPort Direction
+	toNode   int
+	toPort   Direction
+	deliver  bool
+}
+
+func (m *Mesh) step() bool {
+	var moves []move
+	// Phase 1: plan. Each output channel forwards at most one flit;
+	// wormhole ownership keeps a packet contiguous; round-robin
+	// arbitration picks among competing inputs.
+	for node, r := range m.routers {
+		for out := Direction(0); out < numPorts; out++ {
+			// Which inputs want this output?
+			granted := -1
+			if r.outOwner[out] >= 0 {
+				// Find the owner's input port head flit.
+				for in := Direction(0); in < numPorts; in++ {
+					q := &r.in[in]
+					if len(q.q) > 0 && q.q[0].msg == r.outOwner[out] && m.route(node, q.q[0].dst) == out {
+						granted = int(in)
+						break
+					}
+				}
+				if granted < 0 {
+					continue // owner's next flit not here yet
+				}
+			} else {
+				// Round-robin over inputs with a head flit routed here.
+				for k := 0; k < int(numPorts); k++ {
+					in := Direction((r.rrNext[out] + k) % int(numPorts))
+					q := &r.in[in]
+					if len(q.q) > 0 && m.route(node, q.q[0].dst) == out {
+						granted = int(in)
+						r.rrNext[out] = (int(in) + 1) % int(numPorts)
+						break
+					}
+				}
+				if granted < 0 {
+					continue
+				}
+			}
+			if out == Local {
+				moves = append(moves, move{fromNode: node, fromPort: Direction(granted), deliver: true})
+				continue
+			}
+			// Credit check at the receiver.
+			next := m.neighbor(node, out)
+			inPort := opposite(out)
+			if len(m.routers[next].in[inPort].q) >= m.cfg.BufferFlits {
+				continue
+			}
+			moves = append(moves, move{fromNode: node, fromPort: Direction(granted), toNode: next, toPort: inPort})
+		}
+	}
+	// Injections: one flit per source per cycle into the Local input,
+	// respecting buffer space.
+	type inject struct {
+		node int
+		f    flit
+		msg  int
+	}
+	var injections []inject
+	for src, queue := range m.sendQ {
+		if len(queue) == 0 {
+			continue
+		}
+		msgIdx := queue[0]
+		if len(m.routers[src].in[Local].q) >= m.cfg.BufferFlits {
+			continue
+		}
+		left := m.flitsLeft[msgIdx]
+		f := flit{msg: msgIdx, dst: m.msgs[msgIdx].Dst, tail: left == 1}
+		injections = append(injections, inject{node: src, f: f, msg: msgIdx})
+	}
+
+	// Phase 2: commit.
+	progress := false
+	for _, mv := range moves {
+		r := m.routers[mv.fromNode]
+		q := &r.in[mv.fromPort]
+		f := q.q[0]
+		q.q = q.q[1:]
+		out := m.route(mv.fromNode, f.dst)
+		m.busy[[2]int{mv.fromNode, int(out)}]++
+		if mv.deliver {
+			m.delivered[f.msg]++
+			if f.tail {
+				m.msgs[f.msg].Delivered = m.cycles + 1
+			}
+		} else {
+			m.routers[mv.toNode].in[mv.toPort].q = append(m.routers[mv.toNode].in[mv.toPort].q, f)
+			// Wormhole ownership: hold the channel until the tail.
+			if f.tail {
+				r.outOwner[out] = -1
+			} else {
+				r.outOwner[out] = f.msg
+			}
+		}
+		if mv.deliver && !f.tail {
+			r.outOwner[Local] = f.msg
+		} else if mv.deliver && f.tail {
+			r.outOwner[Local] = -1
+		}
+		progress = true
+	}
+	for _, inj := range injections {
+		m.routers[inj.node].in[Local].q = append(m.routers[inj.node].in[Local].q, inj.f)
+		m.flitsLeft[inj.msg]--
+		if m.flitsLeft[inj.msg] == 0 {
+			m.sendQ[inj.node] = m.sendQ[inj.node][1:]
+		}
+		if m.msgs[inj.msg].Injected == 0 {
+			m.msgs[inj.msg].Injected = m.cycles + 1
+		}
+		progress = true
+	}
+	return progress
+}

@@ -1,0 +1,245 @@
+// Package multiwafer implements the inter-wafer scaling discussion of
+// Section 8.3 of the FRED paper ("going beyond a single wafer"): when
+// a model needs more than one wafer, the on-wafer FRED fabric works in
+// tandem with an inter-wafer interconnect to form hierarchical
+// collectives. A global all-reduce decomposes into
+//
+//  1. a special intra-wafer reduce-scatter performed by FRED, where
+//     only the boundary NPUs (those with I/O access) hold the partial
+//     results,
+//  2. an all-reduce across wafers carried by the boundary NPUs over
+//     the inter-wafer links, and
+//  3. a final intra-wafer all-gather, with the boundary NPUs
+//     broadcasting the result to every NPU of their wafer.
+//
+// The package also models the naive alternative the paper contrasts —
+// a single per-wafer leader exchanging the full gradient across wafers
+// (the reduction-tree style of monolithic systems) — to quantify the
+// bandwidth amplification of boundary-parallel exchange.
+package multiwafer
+
+import (
+	"fmt"
+
+	"github.com/wafernet/fred/internal/collective"
+	"github.com/wafernet/fred/internal/netsim"
+	"github.com/wafernet/fred/internal/sim"
+	"github.com/wafernet/fred/internal/topology"
+)
+
+// Config sizes a multi-wafer system.
+type Config struct {
+	// Wafers is the wafer count (≥ 2).
+	Wafers int
+	// Variant selects the per-wafer FRED configuration.
+	Variant topology.FredVariant
+	// BoundaryPorts is the number of inter-wafer ports per wafer, each
+	// attached to a distinct boundary NPU (the paper's boundary NPUs
+	// are those with I/O access; the baseline wafer has 18 channels).
+	BoundaryPorts int
+	// PortBW is the per-port one-direction inter-wafer bandwidth.
+	PortBW float64
+	// PortLatency is the inter-wafer hop latency (off-wafer SerDes —
+	// orders of magnitude above on-wafer hops).
+	PortLatency float64
+}
+
+// DefaultConfig returns a 4-wafer Fred-D system with 18 × 128 GB/s
+// inter-wafer ports (CXL-class, matching the I/O controllers).
+func DefaultConfig() Config {
+	return Config{
+		Wafers:        4,
+		Variant:       topology.FredD,
+		BoundaryPorts: 18,
+		PortBW:        128e9,
+		PortLatency:   200e-9,
+	}
+}
+
+// System is a set of FRED wafers joined by a ring of inter-wafer links
+// per boundary port (port k of wafer w connects to port k of wafer
+// w+1 mod W, both directions).
+type System struct {
+	cfg    Config
+	sched  *sim.Scheduler
+	net    *netsim.Network
+	wafers []*topology.FredFabric
+	// fwd[w][k]: wafer w, port k → wafer w+1; rev is the opposite
+	// direction.
+	fwd, rev [][]netsim.LinkID
+}
+
+// New builds a multi-wafer system on a fresh scheduler.
+func New(cfg Config) *System {
+	if cfg.Wafers < 2 {
+		panic(fmt.Sprintf("multiwafer: need ≥ 2 wafers, got %d", cfg.Wafers))
+	}
+	if cfg.BoundaryPorts < 1 {
+		panic("multiwafer: need ≥ 1 boundary port")
+	}
+	s := &System{cfg: cfg, sched: sim.NewScheduler()}
+	s.net = netsim.New(s.sched)
+	for w := 0; w < cfg.Wafers; w++ {
+		s.wafers = append(s.wafers, topology.NewFredVariant(s.net, cfg.Variant))
+	}
+	if cfg.BoundaryPorts > s.wafers[0].NPUCount() {
+		panic("multiwafer: more boundary ports than NPUs")
+	}
+	s.fwd = make([][]netsim.LinkID, cfg.Wafers)
+	s.rev = make([][]netsim.LinkID, cfg.Wafers)
+	for w := 0; w < cfg.Wafers; w++ {
+		next := (w + 1) % cfg.Wafers
+		for k := 0; k < cfg.BoundaryPorts; k++ {
+			// The inter-wafer link joins the boundary NPUs' switch
+			// ports; we model it NPU-to-NPU through dedicated links.
+			a := s.npuNode(w, k)
+			b := s.npuNode(next, k)
+			s.fwd[w] = append(s.fwd[w], s.net.AddLink(a, b, cfg.PortBW, cfg.PortLatency,
+				fmt.Sprintf("xw%d.%d->", w, k)))
+			s.rev[w] = append(s.rev[w], s.net.AddLink(b, a, cfg.PortBW, cfg.PortLatency,
+				fmt.Sprintf("xw%d.%d<-", w, k)))
+		}
+	}
+	return s
+}
+
+// npuNode returns the netsim node of boundary NPU k on wafer w.
+// Boundary NPUs are spread across leaf switches (one per leaf first,
+// then wrapping), mirroring the round-robin I/O controller attachment.
+func (s *System) npuNode(w, k int) netsim.NodeID {
+	f := s.wafers[w]
+	npu := s.BoundaryNPU(k)
+	// Route through the NPU's own node: inter-wafer traffic enters and
+	// leaves via the NPU (which owns the I/O port).
+	return nodeOf(f, npu)
+}
+
+// BoundaryNPU maps a boundary port index to its NPU index.
+func (s *System) BoundaryNPU(k int) int {
+	f := s.wafers[0]
+	l1s := f.L1Count()
+	perL1 := f.NPUCount() / l1s
+	// Spread: port k sits under leaf k%l1s at local position k/l1s.
+	return (k%l1s)*perL1 + (k/l1s)%perL1
+}
+
+// nodeOf recovers the netsim node of an NPU via its up-link source.
+func nodeOf(f *topology.FredFabric, npu int) netsim.NodeID {
+	return f.Network().Link(f.UpLink(npu)).Src
+}
+
+// Wafers returns the wafer count.
+func (s *System) Wafers() int { return s.cfg.Wafers }
+
+// Network returns the shared flow network.
+func (s *System) Network() *netsim.Network { return s.net }
+
+// Wafer returns one wafer's fabric.
+func (s *System) Wafer(w int) *topology.FredFabric { return s.wafers[w] }
+
+// allNPUs lists the NPU indices of one wafer.
+func (s *System) allNPUs() []int {
+	n := s.wafers[0].NPUCount()
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// interRing returns the pipelined bidirectional ring schedule of an
+// all-reduce across wafers on boundary port k.
+func (s *System) interRing(k int, bytes float64) collective.Schedule {
+	sched := collective.Schedule{Name: fmt.Sprintf("inter-wafer-ring[%d]", k)}
+	W := s.cfg.Wafers
+	if W <= 1 || bytes <= 0 {
+		return sched
+	}
+	perEdge := 2 * float64(W-1) * bytes / float64(2*W)
+	var ph collective.Phase
+	for w := 0; w < W; w++ {
+		ph = append(ph, collective.Transfer{Links: []netsim.LinkID{s.fwd[w][k]}, Bytes: perEdge})
+		ph = append(ph, collective.Transfer{Links: []netsim.LinkID{s.rev[w][k]}, Bytes: perEdge})
+	}
+	sched.Phases = []collective.Phase{ph}
+	return sched
+}
+
+// GlobalAllReduce compiles the hierarchical three-step global
+// all-reduce of Section 8.3 and returns its phases as one schedule:
+// concurrent in-network reduce-scatters to the boundary NPUs, the
+// boundary rings across wafers, and the in-network all-gathers back.
+func (s *System) GlobalAllReduce(bytes float64) collective.Schedule {
+	out := collective.Schedule{Name: "global-allreduce"}
+	K := s.cfg.BoundaryPorts
+	shard := bytes / float64(K)
+	npus := s.allNPUs()
+
+	// Step 1: per wafer, K concurrent in-network reduces, one shard to
+	// each boundary NPU (the "special intra-wafer reduce-scatter").
+	var step1 collective.Phase
+	for w := range s.wafers {
+		f := s.wafers[w]
+		for k := 0; k < K; k++ {
+			sub := collective.FredInNetworkReduce(f, npus, s.BoundaryNPU(k), shard)
+			for _, ph := range sub.Phases {
+				step1 = append(step1, ph...)
+			}
+		}
+	}
+	// Step 2: K concurrent boundary rings across wafers.
+	var step2 collective.Phase
+	for k := 0; k < K; k++ {
+		sub := s.interRing(k, shard)
+		for _, ph := range sub.Phases {
+			step2 = append(step2, ph...)
+		}
+	}
+	// Step 3: per wafer, K concurrent in-network multicasts from the
+	// boundary NPUs (the "special all-gather").
+	var step3 collective.Phase
+	for w := range s.wafers {
+		f := s.wafers[w]
+		for k := 0; k < K; k++ {
+			sub := collective.FredInNetworkMulticast(f, s.BoundaryNPU(k), npus, shard)
+			for _, ph := range sub.Phases {
+				step3 = append(step3, ph...)
+			}
+		}
+	}
+	out.Phases = []collective.Phase{step1, step2, step3}
+	return out
+}
+
+// NaiveAllReduce compiles the contrasted design: each wafer reduces to
+// a single leader, the leaders ring-all-reduce the FULL payload over
+// one boundary port, and each leader broadcasts back — the
+// reduction-tree style with no boundary parallelism.
+func (s *System) NaiveAllReduce(bytes float64) collective.Schedule {
+	out := collective.Schedule{Name: "naive-allreduce"}
+	npus := s.allNPUs()
+	var step1, step3 collective.Phase
+	for w := range s.wafers {
+		f := s.wafers[w]
+		sub := collective.FredInNetworkReduce(f, npus, s.BoundaryNPU(0), bytes)
+		for _, ph := range sub.Phases {
+			step1 = append(step1, ph...)
+		}
+		bc := collective.FredInNetworkMulticast(f, s.BoundaryNPU(0), npus, bytes)
+		for _, ph := range bc.Phases {
+			step3 = append(step3, ph...)
+		}
+	}
+	var step2 collective.Phase
+	for _, ph := range s.interRing(0, bytes).Phases {
+		step2 = append(step2, ph...)
+	}
+	out.Phases = []collective.Phase{step1, step2, step3}
+	return out
+}
+
+// Run executes a schedule on the system's otherwise-idle network and
+// returns the elapsed time.
+func (s *System) Run(sched collective.Schedule) float64 {
+	return collective.RunToCompletion(s.net, sched)
+}

@@ -1,0 +1,500 @@
+// Package netsim is a flow-level, discrete-event network simulator.
+//
+// The network is a set of nodes joined by directed links, each with a
+// bandwidth (bytes/second) and a latency (seconds). Traffic is modelled
+// as flows: a flow occupies every link of its route — a path for
+// unicast, a tree for multicast or in-network reduction — at a single
+// rate. Active flows share link bandwidth max-min fairly, computed by
+// progressive filling, exactly the model used by flow-level backends of
+// distributed-training simulators such as ASTRA-SIM's analytical mode.
+//
+// Rates are recomputed whenever the set of active flows changes; flow
+// completions are scheduled on the shared sim.Scheduler, so network
+// activity interleaves deterministically with compute and I/O events
+// from other simulators.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/wafernet/fred/internal/sim"
+)
+
+// NodeID identifies a node within a Network.
+type NodeID int
+
+// LinkID identifies a directed link within a Network.
+type LinkID int
+
+// rateEpsilon is the slack used when deciding that a link is saturated
+// or that a flow has drained, guarding against float64 round-off.
+const rateEpsilon = 1e-9
+
+// Link is a directed channel between two nodes.
+type Link struct {
+	ID        LinkID
+	Src, Dst  NodeID
+	Bandwidth float64 // bytes per second; math.Inf(1) for contention-free hops
+	Latency   float64 // seconds per traversal
+	Name      string
+
+	flows     []*Flow
+	bytesDone float64 // cumulative bytes carried, for utilisation reports
+}
+
+// BytesCarried reports the cumulative bytes this link has transferred.
+func (l *Link) BytesCarried() float64 { return l.bytesDone }
+
+// FlowState describes where a Flow is in its lifecycle.
+type FlowState int
+
+const (
+	// FlowLatency means the flow is in its initial latency stage and
+	// does not yet occupy link bandwidth.
+	FlowLatency FlowState = iota
+	// FlowActive means the flow is transferring and occupies its links.
+	FlowActive
+	// FlowPaused means the flow has been preempted; it holds no
+	// bandwidth until resumed.
+	FlowPaused
+	// FlowDone means the flow completed (or was canceled).
+	FlowDone
+)
+
+func (s FlowState) String() string {
+	switch s {
+	case FlowLatency:
+		return "latency"
+	case FlowActive:
+		return "active"
+	case FlowPaused:
+		return "paused"
+	case FlowDone:
+		return "done"
+	}
+	return fmt.Sprintf("FlowState(%d)", int(s))
+}
+
+// FlowSpec describes a transfer to start.
+type FlowSpec struct {
+	// Links is the set of links the flow occupies at a single rate. For
+	// a unicast this is a path; for a multicast/reduction tree it is
+	// every edge of the tree (a pipelined tree moves data on all edges
+	// at the stream rate simultaneously).
+	Links []LinkID
+	// Bytes is the transfer size.
+	Bytes float64
+	// Latency overrides the route latency when ≥ 0; when negative the
+	// sum of link latencies is used (cut-through: paid once).
+	Latency float64
+	// Done is called when the final byte is delivered. It may start new
+	// flows or schedule events.
+	Done func(*Flow)
+	// Label tags the flow for debugging and accounting.
+	Label string
+}
+
+// Flow is an in-flight transfer.
+type Flow struct {
+	net       *Network
+	links     []*Link
+	label     string
+	latency   float64
+	state     FlowState
+	remaining float64
+	rate      float64
+	started   sim.Time
+	finished  sim.Time
+	done      func(*Flow)
+	complete  *sim.Event
+	latEvent  *sim.Event
+}
+
+// State returns the flow's lifecycle state.
+func (f *Flow) State() FlowState { return f.state }
+
+// Remaining returns the bytes not yet transferred (settled to the
+// current simulated time).
+func (f *Flow) Remaining() float64 {
+	if f.state == FlowActive {
+		f.net.settle()
+	}
+	return f.remaining
+}
+
+// Rate returns the flow's current max-min fair rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Label returns the flow's tag.
+func (f *Flow) Label() string { return f.label }
+
+// Started returns the time the flow was started.
+func (f *Flow) Started() sim.Time { return f.started }
+
+// Finished returns the completion time; meaningful once State is
+// FlowDone.
+func (f *Flow) Finished() sim.Time { return f.finished }
+
+// Network is a collection of nodes and links carrying flows.
+type Network struct {
+	sched *sim.Scheduler
+	nodes []string
+	links []*Link
+
+	active      map[*Flow]struct{}
+	lastSettle  sim.Time
+	dirty       bool
+	recomputing bool
+}
+
+// New creates an empty network driven by the given scheduler.
+func New(s *sim.Scheduler) *Network {
+	return &Network{
+		sched:  s,
+		active: make(map[*Flow]struct{}),
+	}
+}
+
+// Scheduler returns the scheduler driving this network.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// AddNode registers a node and returns its ID.
+func (n *Network) AddNode(name string) NodeID {
+	n.nodes = append(n.nodes, name)
+	return NodeID(len(n.nodes) - 1)
+}
+
+// NodeName returns the name given to AddNode.
+func (n *Network) NodeName(id NodeID) string { return n.nodes[id] }
+
+// NumNodes returns the number of registered nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NumLinks returns the number of registered links.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// AddLink registers a directed link and returns its ID. Bandwidth must
+// be positive (use math.Inf(1) for contention-free hops).
+func (n *Network) AddLink(src, dst NodeID, bandwidth, latency float64, name string) LinkID {
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("netsim: link %q bandwidth %g must be positive", name, bandwidth))
+	}
+	if latency < 0 {
+		panic(fmt.Sprintf("netsim: link %q latency %g must be non-negative", name, latency))
+	}
+	l := &Link{
+		ID:        LinkID(len(n.links)),
+		Src:       src,
+		Dst:       dst,
+		Bandwidth: bandwidth,
+		Latency:   latency,
+		Name:      name,
+	}
+	n.links = append(n.links, l)
+	return l.ID
+}
+
+// Link returns the link with the given ID.
+func (n *Network) Link(id LinkID) *Link { return n.links[id] }
+
+// ActiveFlows returns the number of flows currently holding bandwidth.
+func (n *Network) ActiveFlows() int { return len(n.active) }
+
+// StartFlow begins a transfer. The flow first waits out its route
+// latency, then occupies its links until Bytes have drained at the
+// max-min fair rate. Zero-byte flows complete after the latency alone
+// (they model pure control messages).
+func (n *Network) StartFlow(spec FlowSpec) *Flow {
+	if spec.Bytes < 0 {
+		panic(fmt.Sprintf("netsim: flow %q negative bytes %g", spec.Label, spec.Bytes))
+	}
+	f := &Flow{
+		net:       n,
+		label:     spec.Label,
+		remaining: spec.Bytes,
+		done:      spec.Done,
+		started:   n.sched.Now(),
+		state:     FlowLatency,
+	}
+	lat := spec.Latency
+	if lat < 0 {
+		lat = 0
+		for _, id := range spec.Links {
+			lat += n.links[id].Latency
+		}
+	}
+	f.latency = lat
+	// Deduplicate: a flow occupies each link once no matter how often a
+	// route or tree mentions it.
+	f.links = make([]*Link, 0, len(spec.Links))
+	seen := make(map[LinkID]bool, len(spec.Links))
+	for _, id := range spec.Links {
+		if !seen[id] {
+			seen[id] = true
+			f.links = append(f.links, n.links[id])
+		}
+	}
+	f.latEvent = n.sched.After(lat, func() {
+		f.latEvent = nil
+		n.activate(f)
+	})
+	return f
+}
+
+func (n *Network) activate(f *Flow) {
+	if f.remaining <= 0 {
+		f.state = FlowActive // momentarily, for finish bookkeeping
+		n.finish(f)
+		return
+	}
+	n.settle()
+	f.state = FlowActive
+	n.active[f] = struct{}{}
+	for _, l := range f.links {
+		l.flows = append(l.flows, f)
+	}
+	n.markDirty()
+}
+
+// Pause preempts an active flow: it stops occupying bandwidth and keeps
+// its remaining byte count. Pausing a flow still in its latency stage
+// holds it there. Pausing a done or already-paused flow is a no-op.
+func (f *Flow) Pause() {
+	n := f.net
+	switch f.state {
+	case FlowActive:
+		n.settle()
+		n.detach(f)
+		f.state = FlowPaused
+		n.markDirty()
+	case FlowLatency:
+		if f.latEvent != nil {
+			n.sched.Cancel(f.latEvent)
+			f.latEvent = nil
+		}
+		f.state = FlowPaused
+	}
+}
+
+// Resume restarts a paused flow with its remaining bytes. The route
+// latency is paid again: a preempted circuit must be re-established.
+func (f *Flow) Resume() {
+	if f.state != FlowPaused {
+		return
+	}
+	n := f.net
+	f.state = FlowLatency
+	f.latEvent = n.sched.After(f.latency, func() {
+		f.latEvent = nil
+		n.activate(f)
+	})
+}
+
+// Cancel abandons the flow without invoking its Done callback.
+func (f *Flow) Cancel() {
+	n := f.net
+	switch f.state {
+	case FlowActive:
+		n.settle()
+		n.detach(f)
+		n.markDirty()
+	case FlowLatency:
+		if f.latEvent != nil {
+			n.sched.Cancel(f.latEvent)
+			f.latEvent = nil
+		}
+	}
+	f.state = FlowDone
+	f.finished = n.sched.Now()
+}
+
+// detach removes the flow from its links and the active set.
+func (n *Network) detach(f *Flow) {
+	delete(n.active, f)
+	for _, l := range f.links {
+		for i, g := range l.flows {
+			if g == f {
+				l.flows = append(l.flows[:i], l.flows[i+1:]...)
+				break
+			}
+		}
+	}
+	if f.complete != nil {
+		n.sched.Cancel(f.complete)
+		f.complete = nil
+	}
+	f.rate = 0
+}
+
+func (n *Network) finish(f *Flow) {
+	if f.state == FlowActive {
+		n.settle()
+		n.detach(f)
+		n.markDirty()
+	}
+	f.state = FlowDone
+	f.remaining = 0
+	f.finished = n.sched.Now()
+	if f.done != nil {
+		f.done(f)
+	}
+}
+
+// settle advances all active flows' byte counters to the current time
+// at their last-computed rates, and accrues link utilisation.
+func (n *Network) settle() {
+	now := n.sched.Now()
+	dt := now - n.lastSettle
+	if dt <= 0 {
+		n.lastSettle = now
+		return
+	}
+	for f := range n.active {
+		moved := f.rate * dt
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		for _, l := range f.links {
+			l.bytesDone += moved
+		}
+	}
+	n.lastSettle = now
+}
+
+// markDirty schedules a single rate recomputation at the current
+// timestamp, so that a burst of same-time flow mutations is followed by
+// exactly one progressive-filling pass.
+func (n *Network) markDirty() {
+	if n.dirty {
+		return
+	}
+	n.dirty = true
+	n.sched.After(0, n.recompute)
+}
+
+// recompute runs progressive filling over the active flows and
+// reschedules every completion event.
+func (n *Network) recompute() {
+	n.dirty = false
+	n.settle()
+
+	// Progressive filling: raise all unfrozen flows' rates together;
+	// whenever a link saturates, freeze its flows at the current rate.
+	type linkState struct {
+		residual float64
+		unfrozen int
+	}
+	states := make(map[*Link]*linkState)
+	frozen := make(map[*Flow]bool, len(n.active))
+	for f := range n.active {
+		f.rate = 0
+		for _, l := range f.links {
+			if math.IsInf(l.Bandwidth, 1) {
+				continue
+			}
+			st := states[l]
+			if st == nil {
+				st = &linkState{residual: l.Bandwidth}
+				states[l] = st
+			}
+			st.unfrozen++
+		}
+	}
+	unfrozenCount := len(n.active)
+	for unfrozenCount > 0 {
+		delta := math.Inf(1)
+		for _, st := range states {
+			if st.unfrozen == 0 {
+				continue
+			}
+			if d := st.residual / float64(st.unfrozen); d < delta {
+				delta = d
+			}
+		}
+		if math.IsInf(delta, 1) {
+			// Remaining flows traverse only infinite-bandwidth links.
+			for f := range n.active {
+				if !frozen[f] {
+					f.rate = math.Inf(1)
+					frozen[f] = true
+					unfrozenCount--
+				}
+			}
+			break
+		}
+		for f := range n.active {
+			if !frozen[f] {
+				f.rate += delta
+			}
+		}
+		for _, st := range states {
+			if st.unfrozen > 0 {
+				st.residual -= delta * float64(st.unfrozen)
+			}
+		}
+		// Freeze flows crossing any saturated link.
+		for f := range n.active {
+			if frozen[f] {
+				continue
+			}
+			for _, l := range f.links {
+				st := states[l]
+				if st != nil && st.residual <= rateEpsilon*l.Bandwidth {
+					frozen[f] = true
+					unfrozenCount--
+					break
+				}
+			}
+		}
+		for _, st := range states {
+			st.unfrozen = 0
+		}
+		for f := range n.active {
+			if frozen[f] {
+				continue
+			}
+			for _, l := range f.links {
+				if st := states[l]; st != nil {
+					st.unfrozen++
+				}
+			}
+		}
+	}
+
+	// Reschedule completions at the new rates.
+	now := n.sched.Now()
+	for f := range n.active {
+		if f.complete != nil {
+			n.sched.Cancel(f.complete)
+			f.complete = nil
+		}
+		if f.rate <= 0 {
+			// Starved flow (can only happen transiently); it will be
+			// rescheduled on the next recompute.
+			continue
+		}
+		var eta sim.Time
+		if math.IsInf(f.rate, 1) {
+			eta = now
+		} else {
+			eta = now + f.remaining/f.rate
+		}
+		g := f
+		f.complete = n.sched.At(eta, func() { n.finish(g) })
+	}
+}
+
+// LinkRates returns each active flow's rate summed per link, primarily
+// for tests and diagnostics.
+func (n *Network) LinkRates() map[LinkID]float64 {
+	n.settle()
+	out := make(map[LinkID]float64)
+	for f := range n.active {
+		for _, l := range f.links {
+			out[l.ID] += f.rate
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/wafernet/fred/internal/sim"
+)
+
+func TestResumeRunningFlowNoop(t *testing.T) {
+	s := sim.NewScheduler()
+	net, links := line(s, 2, 100)
+	var done sim.Time
+	f := net.StartFlow(FlowSpec{Links: links, Bytes: 100, Latency: -1, Done: func(*Flow) { done = s.Now() }})
+	s.At(0.5, func() { f.Resume() }) // not paused: must be a no-op
+	s.Run()
+	if !approx(done, 1) {
+		t.Fatalf("Resume on running flow perturbed completion: %g", done)
+	}
+}
+
+func TestPauseDoneFlowNoop(t *testing.T) {
+	s := sim.NewScheduler()
+	net, links := line(s, 2, 100)
+	f := net.StartFlow(FlowSpec{Links: links, Bytes: 100, Latency: -1})
+	s.Run()
+	f.Pause()
+	f.Resume()
+	if f.State() != FlowDone {
+		t.Fatalf("state = %v", f.State())
+	}
+}
+
+func TestDuplicateLinksDeduplicated(t *testing.T) {
+	// A route mentioning the same link twice occupies it once.
+	s := sim.NewScheduler()
+	net, links := line(s, 2, 100)
+	dup := []LinkID{links[0], links[0], links[0]}
+	var done sim.Time
+	net.StartFlow(FlowSpec{Links: dup, Bytes: 100, Latency: -1, Done: func(*Flow) { done = s.Now() }})
+	s.Run()
+	if !approx(done, 1) {
+		t.Fatalf("deduped flow finished at %g, want 1", done)
+	}
+	if got := net.Link(links[0]).BytesCarried(); !approx(got, 100) {
+		t.Fatalf("link carried %g, want 100 (no double count)", got)
+	}
+}
+
+func TestCancelDuringLatencyStage(t *testing.T) {
+	s := sim.NewScheduler()
+	net := New(s)
+	a, b := net.AddNode("a"), net.AddNode("b")
+	l := net.AddLink(a, b, 100, 5, "l")
+	called := false
+	f := net.StartFlow(FlowSpec{Links: []LinkID{l}, Bytes: 100, Latency: -1, Done: func(*Flow) { called = true }})
+	s.At(1, func() { f.Cancel() })
+	s.Run()
+	if called {
+		t.Fatal("canceled latency-stage flow completed")
+	}
+	if net.ActiveFlows() != 0 {
+		t.Fatal("flow leaked into active set")
+	}
+}
+
+func TestFlowAccessors(t *testing.T) {
+	s := sim.NewScheduler()
+	net, links := line(s, 2, 100)
+	f := net.StartFlow(FlowSpec{Links: links, Bytes: 100, Latency: -1, Label: "probe"})
+	if f.Label() != "probe" {
+		t.Fatalf("Label = %q", f.Label())
+	}
+	if f.Started() != 0 {
+		t.Fatalf("Started = %g", f.Started())
+	}
+	s.Run()
+	if !approx(f.Finished(), 1) {
+		t.Fatalf("Finished = %g", f.Finished())
+	}
+	if f.Rate() != 0 {
+		t.Fatalf("Rate after done = %g", f.Rate())
+	}
+}
+
+func TestNodeNameAndCounts(t *testing.T) {
+	s := sim.NewScheduler()
+	net := New(s)
+	id := net.AddNode("hello")
+	if net.NodeName(id) != "hello" {
+		t.Fatal("NodeName")
+	}
+	if net.NumNodes() != 1 || net.NumLinks() != 0 {
+		t.Fatal("counts")
+	}
+}
+
+func TestThreeWayBottleneckFairness(t *testing.T) {
+	// Three flows, one shared link: each gets a third.
+	s := sim.NewScheduler()
+	net, links := line(s, 2, 90)
+	f1 := net.StartFlow(FlowSpec{Links: links, Bytes: 1e9, Latency: -1})
+	f2 := net.StartFlow(FlowSpec{Links: links, Bytes: 1e9, Latency: -1})
+	f3 := net.StartFlow(FlowSpec{Links: links, Bytes: 1e9, Latency: -1})
+	s.RunUntil(0)
+	for _, f := range []*Flow{f1, f2, f3} {
+		if !approx(f.Rate(), 30) {
+			t.Fatalf("rate = %g, want 30", f.Rate())
+		}
+	}
+	f1.Cancel()
+	s.RunUntil(0)
+	if !approx(f2.Rate(), 45) || !approx(f3.Rate(), 45) {
+		t.Fatalf("after cancel rates = %g, %g, want 45", f2.Rate(), f3.Rate())
+	}
+	f2.Cancel()
+	f3.Cancel()
+	s.Run()
+}
+
+func TestNegativeLatencyLinkPanics(t *testing.T) {
+	s := sim.NewScheduler()
+	net := New(s)
+	a, b := net.AddNode("a"), net.AddNode("b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	net.AddLink(a, b, 1, -1, "bad")
+}
+
+func TestFlowStateStrings(t *testing.T) {
+	want := map[FlowState]string{
+		FlowLatency: "latency", FlowActive: "active", FlowPaused: "paused", FlowDone: "done",
+	}
+	for st, name := range want {
+		if st.String() != name {
+			t.Errorf("%d = %q", int(st), st.String())
+		}
+	}
+	if FlowState(99).String() == "" {
+		t.Error("unknown state renders empty")
+	}
+}
+
+func TestVeryLargeTransferNoOverflow(t *testing.T) {
+	s := sim.NewScheduler()
+	net, links := line(s, 2, 1e12)
+	var done sim.Time
+	net.StartFlow(FlowSpec{Links: links, Bytes: 1e15, Latency: -1, Done: func(*Flow) { done = s.Now() }})
+	s.Run()
+	if math.Abs(done-1000)/1000 > 1e-9 {
+		t.Fatalf("1 PB at 1 TB/s = %g s, want 1000", done)
+	}
+}

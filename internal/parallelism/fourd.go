@@ -1,0 +1,97 @@
+package parallelism
+
+import "fmt"
+
+// Strategy4D extends 3D parallelism with an expert-parallel (EP)
+// dimension, per the paper's Section 8.3 discussion of strategies
+// beyond MP/DP/PP (Expert Parallelism for mixture-of-experts models;
+// EP peers exchange tokens with all-to-all collectives).
+type Strategy4D struct {
+	MP, DP, PP, EP int
+}
+
+// Workers returns the worker count.
+func (s Strategy4D) Workers() int { return s.MP * s.DP * s.PP * s.EP }
+
+// Valid reports whether all dimensions are at least 1.
+func (s Strategy4D) Valid() bool {
+	return s.MP >= 1 && s.DP >= 1 && s.PP >= 1 && s.EP >= 1
+}
+
+// String formats the strategy.
+func (s Strategy4D) String() string {
+	return fmt.Sprintf("MP(%d)-EP(%d)-DP(%d)-PP(%d)", s.MP, s.EP, s.DP, s.PP)
+}
+
+// Worker4D identifies a worker by its offset in all four dimensions.
+type Worker4D struct {
+	MP, DP, PP, EP int
+}
+
+// Rank orders workers MP fastest, then EP, then PP, then DP, so MP
+// groups stay on consecutive NPUs and EP groups on consecutive MP
+// blocks — the natural extension of FRED's consecutive placement.
+func (s Strategy4D) Rank(w Worker4D) int {
+	return w.MP + s.MP*(w.EP+s.EP*(w.PP+s.PP*w.DP))
+}
+
+// Worker is the inverse of Rank.
+func (s Strategy4D) Worker(rank int) Worker4D {
+	if rank < 0 || rank >= s.Workers() {
+		panic(fmt.Sprintf("parallelism: rank %d out of range for %v", rank, s))
+	}
+	mp := rank % s.MP
+	rest := rank / s.MP
+	ep := rest % s.EP
+	rest /= s.EP
+	pp := rest % s.PP
+	dp := rest / s.PP
+	return Worker4D{MP: mp, DP: dp, PP: pp, EP: ep}
+}
+
+// groups4D enumerates groups along one varying dimension.
+func (s Strategy4D) groups4D(size int, member func(w Worker4D, i int) Worker4D) [][]int {
+	var groups [][]int
+	for dp := 0; dp < s.DP; dp++ {
+		for pp := 0; pp < s.PP; pp++ {
+			for ep := 0; ep < s.EP; ep++ {
+				for mp := 0; mp < s.MP; mp++ {
+					base := Worker4D{MP: mp, DP: dp, PP: pp, EP: ep}
+					// Only emit the group once: when the varying
+					// coordinate is zero.
+					probe := member(base, 0)
+					if probe != base {
+						continue
+					}
+					g := make([]int, size)
+					for i := 0; i < size; i++ {
+						g[i] = s.Rank(member(base, i))
+					}
+					groups = append(groups, g)
+				}
+			}
+		}
+	}
+	return groups
+}
+
+// MPGroups returns model-parallel groups (vary MP).
+func (s Strategy4D) MPGroups() [][]int {
+	return s.groups4D(s.MP, func(w Worker4D, i int) Worker4D { w.MP = i; return w })
+}
+
+// EPGroups returns expert-parallel groups (vary EP): these peers
+// exchange tokens via all-to-all during MoE dispatch and combine.
+func (s Strategy4D) EPGroups() [][]int {
+	return s.groups4D(s.EP, func(w Worker4D, i int) Worker4D { w.EP = i; return w })
+}
+
+// DPGroups returns data-parallel groups (vary DP).
+func (s Strategy4D) DPGroups() [][]int {
+	return s.groups4D(s.DP, func(w Worker4D, i int) Worker4D { w.DP = i; return w })
+}
+
+// PPGroups returns pipeline groups (vary PP), ordered by stage.
+func (s Strategy4D) PPGroups() [][]int {
+	return s.groups4D(s.PP, func(w Worker4D, i int) Worker4D { w.PP = i; return w })
+}

@@ -1,0 +1,93 @@
+package parallelism
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStrategy4DRankRoundTrip(t *testing.T) {
+	s := Strategy4D{MP: 2, DP: 2, PP: 2, EP: 2}
+	seen := map[int]bool{}
+	for r := 0; r < s.Workers(); r++ {
+		w := s.Worker(r)
+		if s.Rank(w) != r {
+			t.Fatalf("round trip failed at %d", r)
+		}
+		if seen[r] {
+			t.Fatalf("duplicate rank %d", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestStrategy4DGroupCounts(t *testing.T) {
+	s := Strategy4D{MP: 2, DP: 5, PP: 1, EP: 2}
+	if s.Workers() != 20 {
+		t.Fatalf("workers = %d", s.Workers())
+	}
+	if got := len(s.MPGroups()); got != 10 {
+		t.Errorf("MP groups = %d, want 10", got)
+	}
+	if got := len(s.EPGroups()); got != 10 {
+		t.Errorf("EP groups = %d, want 10", got)
+	}
+	if got := len(s.DPGroups()); got != 4 {
+		t.Errorf("DP groups = %d, want 4", got)
+	}
+	if got := len(s.PPGroups()); got != 20 {
+		t.Errorf("PP groups = %d, want 20 (trivial)", got)
+	}
+}
+
+func TestStrategy4DMPContiguous(t *testing.T) {
+	s := Strategy4D{MP: 4, DP: 1, PP: 1, EP: 5}
+	for _, g := range s.MPGroups() {
+		for i := 1; i < len(g); i++ {
+			if g[i] != g[i-1]+1 {
+				t.Fatalf("MP group not contiguous: %v", g)
+			}
+		}
+	}
+	// EP groups stride by MP.
+	for _, g := range s.EPGroups() {
+		for i := 1; i < len(g); i++ {
+			if g[i] != g[i-1]+s.MP {
+				t.Fatalf("EP group stride wrong: %v", g)
+			}
+		}
+	}
+}
+
+func TestStrategy4DPanicsOutOfRange(t *testing.T) {
+	s := Strategy4D{MP: 2, DP: 2, PP: 2, EP: 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.Worker(16)
+}
+
+func TestPropertyStrategy4DGroupsPartition(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		s := Strategy4D{MP: int(a%3) + 1, DP: int(b%3) + 1, PP: int(c%3) + 1, EP: int(d%3) + 1}
+		for _, groups := range [][][]int{s.MPGroups(), s.EPGroups(), s.DPGroups(), s.PPGroups()} {
+			seen := map[int]bool{}
+			for _, g := range groups {
+				for _, r := range g {
+					if seen[r] {
+						return false
+					}
+					seen[r] = true
+				}
+			}
+			if len(seen) != s.Workers() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package placement
+
+import (
+	"math/rand"
+
+	"github.com/wafernet/fred/internal/collective"
+	"github.com/wafernet/fred/internal/netsim"
+	"github.com/wafernet/fred/internal/parallelism"
+	"github.com/wafernet/fred/internal/topology"
+)
+
+// Cost scores a placement's static congestion: the sum over directed
+// links of the squared number of group schedules sharing the link,
+// across all three parallelism dimensions. Squaring penalises hotspots
+// — two links with loads (3,1) cost more than (2,2) — matching how
+// max-min sharing slows the busiest link's collectives.
+func Cost(w topology.Wafer, s parallelism.Strategy, p Placement) float64 {
+	comm := collective.NewComm(w)
+	load := map[netsim.LinkID]int{}
+	addGroups := func(groups [][]int, pp bool) {
+		for _, g := range groups {
+			if len(g) < 2 {
+				continue
+			}
+			npus := p.NPUs(g)
+			var sched collective.Schedule
+			if pp {
+				var phases []collective.Phase
+				for i := 0; i+1 < len(npus); i++ {
+					phases = append(phases, comm.P2P(npus[i], npus[i+1], 1).Phases...)
+				}
+				sched = collective.Schedule{Phases: phases}
+			} else {
+				sched = comm.AllReduce(npus, 1)
+			}
+			for l := range sched.LinkBytes() {
+				load[l]++
+			}
+		}
+	}
+	addGroups(s.MPGroups(), false)
+	addGroups(s.DPGroups(), false)
+	addGroups(s.PPGroups(), true)
+	cost := 0.0
+	for _, c := range load {
+		cost += float64(c * c)
+	}
+	return cost
+}
+
+// Optimize searches for a low-congestion placement via random-restart
+// hill climbing over pairwise swaps — the "intelligent device
+// placement" of Section 5.3 (option 4), which on FRED suffices to
+// remove routing conflicts and on the mesh merely picks which
+// dimension to sacrifice (Section 3.2.2).
+func Optimize(w topology.Wafer, s parallelism.Strategy, restarts, sweeps int, seed int64) (Placement, float64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := s.Workers()
+	slots := w.NPUCount()
+
+	best := MeshDefault(s)
+	bestCost := Cost(w, s, best)
+
+	for r := 0; r < restarts; r++ {
+		// Random start (except the first restart, which refines the
+		// default placement).
+		cur := make(Placement, n)
+		if r == 0 {
+			copy(cur, best)
+		} else {
+			perm := rng.Perm(slots)
+			for i := 0; i < n; i++ {
+				cur[i] = perm[i]
+			}
+		}
+		curCost := Cost(w, s, cur)
+		for sweep := 0; sweep < sweeps; sweep++ {
+			improved := false
+			for k := 0; k < n; k++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				if i == j {
+					continue
+				}
+				cur[i], cur[j] = cur[j], cur[i]
+				c := Cost(w, s, cur)
+				if c < curCost {
+					curCost = c
+					improved = true
+				} else {
+					cur[i], cur[j] = cur[j], cur[i]
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		if curCost < bestCost {
+			bestCost = curCost
+			best = append(Placement(nil), cur...)
+		}
+	}
+	return best, bestCost
+}
+
+// OptimizeStrategy is a convenience wrapping Optimize with moderate
+// search effort.
+func OptimizeStrategy(w topology.Wafer, s parallelism.Strategy, seed int64) (Placement, float64) {
+	return Optimize(w, s, 4, 12, seed)
+}

@@ -1,0 +1,139 @@
+// Package report renders experiment results as aligned text tables —
+// the rows/series of the paper's tables and figures, reproduced on
+// stdout by cmd/fredsim and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatSeconds(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// FormatSeconds renders a duration with an adaptive unit.
+func FormatSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s >= 1:
+		return fmt.Sprintf("%.3gs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3gms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.3gµs", s*1e6)
+	default:
+		return fmt.Sprintf("%.3gns", s*1e9)
+	}
+}
+
+// FormatX renders a ratio like "1.76x".
+func FormatX(r float64) string { return fmt.Sprintf("%.2fx", r) }
+
+// FormatBW renders bytes/second with an adaptive unit.
+func FormatBW(bps float64) string {
+	switch {
+	case bps >= 1e12:
+		return fmt.Sprintf("%.3g TB/s", bps/1e12)
+	case bps >= 1e9:
+		return fmt.Sprintf("%.3g GB/s", bps/1e9)
+	default:
+		return fmt.Sprintf("%.3g B/s", bps)
+	}
+}
+
+// FormatFraction renders a ratio as a percentage.
+func FormatFraction(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// CSV renders the table as RFC-4180-ish CSV (header row first); cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "Demo",
+		Header: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", 1.5e-3)
+	tbl.AddRow("beta-longer-name", "literal")
+	tbl.AddNote("a note with %d", 42)
+	out := tbl.String()
+	for _, want := range []string{"Demo", "====", "alpha", "1.5ms", "beta-longer-name", "note: a note with 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data row has the header's column-1 offset.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	headerIdx := strings.Index(lines[2], "value")
+	if headerIdx < 0 {
+		t.Fatalf("header line wrong: %q", lines[2])
+	}
+	if got := strings.Index(lines[4], "1.5ms"); got != headerIdx {
+		t.Errorf("column misaligned: %d vs %d\n%s", got, headerIdx, out)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		2.5:     "2.5s",
+		3.2e-3:  "3.2ms",
+		4.25e-6: "4.25µs",
+		7e-10:   "0.7ns",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); got != want {
+			t.Errorf("FormatSeconds(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatBW(t *testing.T) {
+	if got := FormatBW(3e12); got != "3 TB/s" {
+		t.Errorf("FormatBW(3e12) = %q", got)
+	}
+	if got := FormatBW(750e9); got != "750 GB/s" {
+		t.Errorf("FormatBW(750e9) = %q", got)
+	}
+	if got := FormatBW(12); got != "12 B/s" {
+		t.Errorf("FormatBW(12) = %q", got)
+	}
+}
+
+func TestFormatXAndFraction(t *testing.T) {
+	if got := FormatX(1.758); got != "1.76x" {
+		t.Errorf("FormatX = %q", got)
+	}
+	if got := FormatFraction(0.651); got != "65.1%" {
+		t.Errorf("FormatFraction = %q", got)
+	}
+}
+
+func TestIntCells(t *testing.T) {
+	tbl := &Table{Header: []string{"n"}}
+	tbl.AddRow(42)
+	if !strings.Contains(tbl.String(), "42") {
+		t.Error("int cell lost")
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b"}}
+	tbl.AddRow("plain", "with,comma")
+	tbl.AddRow(`quo"te`, 1.5)
+	got := tbl.CSV()
+	want := "a,b\nplain,\"with,comma\"\n\"quo\"\"te\",1.5s\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

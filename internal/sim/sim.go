@@ -1,0 +1,175 @@
+// Package sim provides a deterministic discrete-event simulation core.
+//
+// A Scheduler owns a virtual clock and an event queue ordered by
+// (time, insertion sequence). Every other simulator in this repository —
+// the flow-level network simulator and the training-iteration engine —
+// posts callbacks onto a shared Scheduler so that compute, communication
+// and I/O events interleave on one timeline.
+//
+// Time is measured in seconds as float64. All tie-breaking is by
+// insertion order, which makes runs fully deterministic for identical
+// inputs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point on the simulated timeline, in seconds.
+type Time = float64
+
+// Infinity is a time later than any event the simulators schedule.
+const Infinity Time = math.MaxFloat64
+
+// Event is a scheduled callback. It is returned by Scheduler.At so the
+// caller can cancel it before it fires.
+type Event struct {
+	when   Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once removed
+	cancel bool
+}
+
+// When reports the time the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.cancel }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event scheduler with a virtual clock.
+// The zero value is ready to use at time 0.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it always indicates a simulator bug rather than a recoverable
+// condition.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Scheduler) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		if e != nil {
+			e.cancel = true
+		}
+		return
+	}
+	e.cancel = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Step executes the single earliest pending event, advancing the clock
+// to its timestamp. It reports false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.when
+	s.fired++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final
+// clock value.
+func (s *Scheduler) Run() Time {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps ≤ deadline; the clock is
+// left at the last executed event (or deadline if nothing fired beyond
+// it but events remain).
+func (s *Scheduler) RunUntil(deadline Time) Time {
+	s.halted = false
+	for !s.halted && len(s.queue) > 0 && s.queue[0].when <= deadline {
+		s.Step()
+	}
+	if s.now < deadline && len(s.queue) > 0 {
+		// Queue has only later events; clock stays where it is.
+		return s.now
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}
+
+// Halt stops a Run in progress after the current event returns.
+func (s *Scheduler) Halt() { s.halted = true }

@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerZeroValue(t *testing.T) {
+	var s Scheduler
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %g, want 0", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", s.Pending())
+	}
+	if s.Step() {
+		t.Fatal("Step() on empty queue = true, want false")
+	}
+}
+
+func TestEventOrderByTime(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEventTieBreakByInsertion(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("tie-break order = %v, want insertion order", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := NewScheduler()
+	s.At(2.5, func() {
+		if s.Now() != 2.5 {
+			t.Errorf("Now() inside event = %g, want 2.5", s.Now())
+		}
+	})
+	end := s.Run()
+	if end != 2.5 {
+		t.Fatalf("Run() = %g, want 2.5", end)
+	}
+}
+
+func TestAfterUsesRelativeTime(t *testing.T) {
+	s := NewScheduler()
+	var fired Time = -1
+	s.At(10, func() {
+		s.After(5, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 15 {
+		t.Fatalf("After(5) at t=10 fired at %g, want 15", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in past did not panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	s.At(1, nil)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.At(1, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	s := NewScheduler()
+	e := s.At(1, func() {})
+	s.Cancel(e)
+	s.Cancel(e) // must not panic
+	s.Cancel(nil)
+	s.Run()
+}
+
+func TestCancelFiredEventNoop(t *testing.T) {
+	s := NewScheduler()
+	e := s.At(1, func() {})
+	s.Run()
+	s.Cancel(e) // must not panic
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	events := make([]*Event, 0, 20)
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, s.At(Time(i), func() { order = append(order, i) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		s.Cancel(events[i])
+	}
+	s.Run()
+	for _, v := range order {
+		if v%3 == 0 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+	}
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("order not sorted after cancels: %v", order)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for _, tm := range []Time{1, 2, 3, 4, 5} {
+		tm := tm
+		s.At(tm, func() { fired = append(fired, tm) })
+	}
+	s.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3) fired %v, want 3 events", fired)
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 5 {
+		t.Fatalf("resumed Run fired %v, want 5 events", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWhenIdle(t *testing.T) {
+	s := NewScheduler()
+	s.RunUntil(7)
+	if s.Now() != 7 {
+		t.Fatalf("Now() = %g after idle RunUntil(7), want 7", s.Now())
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i), func() {
+			count++
+			if count == 4 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run()
+	if count != 4 {
+		t.Fatalf("Halt: executed %d events, want 4", count)
+	}
+	if s.Pending() != 6 {
+		t.Fatalf("Pending() = %d after halt, want 6", s.Pending())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := NewScheduler()
+	depth := 0
+	var grow func()
+	grow = func() {
+		depth++
+		if depth < 50 {
+			s.After(1, grow)
+		}
+	}
+	s.At(0, grow)
+	end := s.Run()
+	if depth != 50 {
+		t.Fatalf("chained events ran %d times, want 50", depth)
+	}
+	if end != 49 {
+		t.Fatalf("end time = %g, want 49", end)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 17; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Run()
+	if s.Fired() != 17 {
+		t.Fatalf("Fired() = %d, want 17", s.Fired())
+	}
+}
+
+// Property: for any set of event times, execution order is sorted by
+// time, with ties broken by insertion order.
+func TestPropertyExecutionOrderSorted(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		count := int(n%64) + 1
+		type rec struct {
+			tm  Time
+			seq int
+		}
+		var got []rec
+		for i := 0; i < count; i++ {
+			tm := Time(rng.Intn(16)) // few distinct times → many ties
+			i := i
+			s.At(tm, func() { got = append(got, rec{tm, i}) })
+		}
+		s.Run()
+		if len(got) != count {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].tm < got[i-1].tm {
+				return false
+			}
+			if got[i].tm == got[i-1].tm && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling an arbitrary subset never perturbs the relative
+// order of the survivors.
+func TestPropertyCancelPreservesOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		n := 40
+		var got []int
+		events := make([]*Event, n)
+		times := make([]Time, n)
+		for i := 0; i < n; i++ {
+			times[i] = Time(rng.Intn(10))
+			i := i
+			events[i] = s.At(times[i], func() { got = append(got, i) })
+		}
+		canceled := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s.Cancel(events[i])
+				canceled[i] = true
+			}
+		}
+		s.Run()
+		for _, id := range got {
+			if canceled[id] {
+				return false
+			}
+		}
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			if times[a] > times[b] || (times[a] == times[b] && a > b) {
+				return false
+			}
+		}
+		return len(got) == n-len(canceled)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

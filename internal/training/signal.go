@@ -1,0 +1,48 @@
+package training
+
+// signal is a one-shot event: waiters registered before it fires run
+// when it fires; waiters registered after run immediately.
+type signal struct {
+	fired   bool
+	waiters []func()
+}
+
+func (s *signal) fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+func (s *signal) wait(fn func()) {
+	if s.fired {
+		fn()
+		return
+	}
+	s.waiters = append(s.waiters, fn)
+}
+
+// counter fires a signal after n arrivals — a rendezvous barrier for
+// the DP replicas that must reach a gradient bucket together before
+// its all-reduce can start.
+type counter struct {
+	need int
+	got  int
+	sig  signal
+}
+
+func newCounter(n int) *counter { return &counter{need: n} }
+
+func (c *counter) arrive() {
+	c.got++
+	if c.got >= c.need {
+		c.sig.fire()
+	}
+}
+
+func (c *counter) wait(fn func()) { c.sig.wait(fn) }

@@ -1,0 +1,312 @@
+package training
+
+import (
+	"github.com/wafernet/fred/internal/parallelism"
+	"github.com/wafernet/fred/internal/sim"
+)
+
+// replica is one (dp, pp) stage replica: the MP group that executes a
+// pipeline stage of one data-parallel instance. Its execution is a
+// sequential chain of compute, blocking MP collectives and pipeline
+// waits, driven by scheduler callbacks.
+type replica struct {
+	e        *engine
+	dp, pp   int
+	npus     []int // placed NPUs of the MP group
+	stats    layerStats
+	perLayer []float64 // per-layer params, for gradient buckets
+
+	microbatch   float64 // samples per microbatch
+	fwdCompute   float64 // seconds per microbatch
+	bwdFactor    float64 // backward/forward compute ratio (2, or 3 with recompute)
+	mpBytesPerUB float64 // MP all-reduce bytes per microbatch per pass
+
+	// Timeline accounting.
+	compute  float64
+	blocked  [numClasses]float64
+	finished sim.Time // end of this replica's compute+MP+PP work
+
+	actReady  []*signal // per microbatch: forward activation arrived
+	gradReady []*signal // per microbatch: backward gradient arrived
+}
+
+// stationaryRun wires up the replicas and runs one weight-stationary
+// iteration (Section 3.1.1): a GPipe pipeline of Microbatches forward
+// waves, the mirrored backward waves, and bucketed DP gradient
+// synchronisation (reduce-scatter + all-gather under ZeRO-2)
+// overlapping the tail of the backward pass.
+func (e *engine) runStationary() (*Report, error) {
+	cfg := e.cfg
+	s := cfg.Strategy
+	stages := stageLayers(cfg.Model.Layers, s.PP)
+	M := cfg.Microbatches
+	recomputed := false
+
+	reps := make([][]*replica, s.DP)
+	var all []*replica
+	for dp := 0; dp < s.DP; dp++ {
+		reps[dp] = make([]*replica, s.PP)
+		for pp := 0; pp < s.PP; pp++ {
+			ranks := make([]int, s.MP)
+			for mp := 0; mp < s.MP; mp++ {
+				ranks[mp] = s.Rank(parallelism.Worker{MP: mp, DP: dp, PP: pp})
+			}
+			st := statsOf(stages[pp])
+			r := &replica{
+				e:     e,
+				dp:    dp,
+				pp:    pp,
+				npus:  cfg.Placement.NPUs(ranks),
+				stats: st,
+			}
+			for _, l := range stages[pp] {
+				r.perLayer = append(r.perLayer, l.Params)
+			}
+			r.microbatch = float64(cfg.MinibatchPerReplica) / float64(M)
+			r.fwdCompute = e.computeSeconds(st.fwdFLOPs * r.microbatch / float64(s.MP))
+			var rc bool
+			r.bwdFactor, rc = e.bwdFactorFor(stages[pp], pp)
+			recomputed = recomputed || rc
+			r.mpBytesPerUB = st.mpBytes * r.microbatch
+			r.actReady = make([]*signal, M)
+			r.gradReady = make([]*signal, M)
+			for i := 0; i < M; i++ {
+				r.actReady[i] = &signal{}
+				r.gradReady[i] = &signal{}
+			}
+			reps[dp][pp] = r
+			all = append(all, r)
+		}
+	}
+
+	// DP rendezvous: one per (mp-irrelevant) (pp, bucket); all DP
+	// replicas of a stage must produce the bucket before its sync.
+	nb := cfg.GradBuckets
+	type dpKey struct{ pp, bucket int }
+	dpBarriers := make(map[dpKey]*counter)
+	if s.DP > 1 {
+		for pp := 0; pp < s.PP; pp++ {
+			for b := 0; b < nb; b++ {
+				dpBarriers[dpKey{pp, b}] = newCounter(s.DP)
+			}
+		}
+	}
+	start := e.sched.Now()
+	launchDP := func(pp, bucket int) {
+		// One concurrent all-reduce per MP shard: each MP peer syncs
+		// its own gradient slice with its DP group. Under ZeRO-2 the
+		// sync is a reduce-scatter of gradients plus an all-gather of
+		// updated parameters — the two halves of an all-reduce, with
+		// the same volume class — so the all-reduce schedule models
+		// both (ZeRO-2's difference is sharded optimizer memory, not
+		// traffic).
+		r0 := reps[0][pp]
+		bucketParams := r0.stats.params / float64(nb)
+		bytes := bucketParams * 2 / float64(s.MP) // FP16 grads, MP-sharded
+		for mp := 0; mp < s.MP; mp++ {
+			group := make([]int, s.DP)
+			for dp := 0; dp < s.DP; dp++ {
+				rank := s.Rank(parallelism.Worker{MP: mp, DP: dp, PP: pp})
+				group[dp] = cfg.Placement[rank]
+			}
+			e.arb.submit(ClassDP, e.comm.AllReduce(group, bytes), func() {})
+		}
+	}
+
+	for _, r := range all {
+		r.run(reps, M, nb, func(pp, bucket, dp int) {
+			if s.DP <= 1 {
+				return
+			}
+			key := dpKey{pp, bucket}
+			c := dpBarriers[key]
+			c.arrive()
+			if c.got == c.need {
+				launchDP(pp, bucket)
+			}
+		})
+	}
+	e.sched.Run()
+	end := e.sched.Now()
+
+	// Critical replica: the one whose pre-DP work finishes last.
+	crit := all[0]
+	for _, r := range all {
+		if r.finished > crit.finished {
+			crit = r
+		}
+	}
+	total := end - start
+	br := Breakdown{
+		Compute:   crit.compute,
+		InputLoad: crit.blocked[ClassLoad],
+		MP:        crit.blocked[ClassMP],
+		PP:        crit.blocked[ClassPP],
+		Stream:    crit.blocked[ClassStream],
+	}
+	if dp := end - crit.finished; dp > 0 && s.DP > 1 {
+		br.DP = dp
+	}
+	return &Report{
+		Config:              cfg,
+		Total:               total,
+		Breakdown:           br,
+		PerSample:           total / float64(cfg.Minibatch()),
+		ActivationRecompute: recomputed,
+		Comm:                e.stats.stats,
+	}, nil
+}
+
+// run drives the replica's sequential task chain through the stage's
+// pipeline step schedule (GPipe or 1F1B).
+// dpReady(pp, bucket, dp) is called when a gradient bucket of the last
+// backward step finishes its compute.
+func (r *replica) run(reps [][]*replica, M, nb int, dpReady func(pp, bucket, dp int)) {
+	e := r.e
+	s := e.cfg.Strategy
+	steps := pipelineSteps(e.cfg.Schedule, M, s.PP, r.pp)
+
+	// blockedWait tracks waiting time for a signal under a class.
+	blockedWait := func(sig *signal, class Class, cont func()) {
+		t0 := e.sched.Now()
+		sig.wait(func() {
+			r.blocked[class] += e.sched.Now() - t0
+			cont()
+		})
+	}
+	mpOp := func(bytes float64, cont func()) {
+		if s.MP <= 1 || bytes <= 0 {
+			cont()
+			return
+		}
+		t0 := e.sched.Now()
+		e.arb.submit(ClassMP, e.comm.AllReduce(r.npus, bytes), func() {
+			r.blocked[ClassMP] += e.sched.Now() - t0
+			cont()
+		})
+	}
+	compute := func(d float64, cont func()) {
+		r.compute += d
+		e.sched.After(d, cont)
+	}
+	ppSend := func(toPP int, bytes float64, fire *signal) {
+		// One MP member multicasts the (replicated) boundary tensor to
+		// every NPU of the adjacent stage (footnote 8); the sender does
+		// not block.
+		dst := reps[r.dp][toPP]
+		e.arb.submit(ClassPP, e.comm.Multicast(r.npus[0], dst.npus, bytes), func() { fire.fire() })
+	}
+
+	var exec func(i int)
+	exec = func(i int) {
+		if i == len(steps) {
+			return
+		}
+		st := steps[i]
+		next := func() { exec(i + 1) }
+		if st.backward {
+			body := func() {
+				if !st.lastBackward {
+					compute(r.bwdFactor*r.fwdCompute, func() {
+						mpOp(r.mpBytesPerUB, func() {
+							if r.pp > 0 {
+								ppSend(r.pp-1, r.stats.lastActOut*r.microbatch, reps[r.dp][r.pp-1].gradReady[st.ub])
+							}
+							next()
+						})
+					})
+					return
+				}
+				// Final backward step: split into gradient buckets so DP
+				// sync overlaps the backward tail.
+				var bucket func(b int)
+				bucket = func(b int) {
+					if b == nb {
+						if r.pp > 0 {
+							ppSend(r.pp-1, r.stats.lastActOut*r.microbatch, reps[r.dp][r.pp-1].gradReady[st.ub])
+						}
+						r.finished = e.sched.Now()
+						next()
+						return
+					}
+					compute(r.bwdFactor*r.fwdCompute/float64(nb), func() {
+						mpOp(r.mpBytesPerUB/float64(nb), func() {
+							dpReady(r.pp, b, r.dp)
+							bucket(b + 1)
+						})
+					})
+				}
+				bucket(0)
+			}
+			if r.pp < s.PP-1 {
+				blockedWait(r.gradReady[st.ub], ClassPP, body)
+			} else {
+				body()
+			}
+			return
+		}
+		// Forward step.
+		body := func() {
+			compute(r.fwdCompute, func() {
+				mpOp(r.mpBytesPerUB, func() {
+					if r.pp < s.PP-1 {
+						ppSend(r.pp+1, r.stats.lastActOut*r.microbatch, reps[r.dp][r.pp+1].actReady[st.ub])
+					}
+					next()
+				})
+			})
+		}
+		if r.pp > 0 {
+			blockedWait(r.actReady[st.ub], ClassPP, body)
+		} else {
+			body()
+		}
+	}
+	exec(0)
+}
+
+// pipeStep is one entry of a stage's pipeline schedule.
+type pipeStep struct {
+	backward     bool
+	ub           int
+	lastBackward bool
+}
+
+// pipelineSteps builds the step sequence of pipeline stage pp.
+//
+// GPipe: all M forwards, then all M backwards in reverse microbatch
+// order (the flush schedule of Huang et al., Section 7.3).
+//
+// 1F1B: (PP−pp) warm-up forwards, then alternating backward/forward in
+// increasing microbatch order, then the cool-down backwards — keeping
+// at most PP−pp microbatches' activations resident instead of M
+// (Narayanan et al.'s PipeDream-flush).
+func pipelineSteps(kind PipelineSchedule, M, PP, pp int) []pipeStep {
+	var steps []pipeStep
+	switch kind {
+	case Schedule1F1B:
+		warm := PP - pp
+		if warm > M {
+			warm = M
+		}
+		for ub := 0; ub < warm; ub++ {
+			steps = append(steps, pipeStep{ub: ub})
+		}
+		nextF := warm
+		for ub := 0; ub < M; ub++ {
+			steps = append(steps, pipeStep{backward: true, ub: ub, lastBackward: ub == M-1})
+			if nextF < M {
+				steps = append(steps, pipeStep{ub: nextF})
+				nextF++
+			}
+		}
+	default: // GPipe
+		for ub := 0; ub < M; ub++ {
+			steps = append(steps, pipeStep{ub: ub})
+		}
+		for ub := M - 1; ub >= 0; ub-- {
+			steps = append(steps, pipeStep{backward: true, ub: ub, lastBackward: ub == 0})
+		}
+	}
+	return steps
+}

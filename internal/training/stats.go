@@ -1,0 +1,65 @@
+package training
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wafernet/fred/internal/collective"
+)
+
+// OpStats aggregates the communication operations of one class over a
+// simulated iteration.
+type OpStats struct {
+	// Ops is the number of collective operations submitted.
+	Ops int
+	// Bytes is the total traffic injected into the fabric (sum of
+	// per-transfer bytes — endpoint algorithms inject ~2(N−1)/N per
+	// payload byte, in-network execution ~1×..2×).
+	Bytes float64
+	// BusyTime is the summed wall time of the operations (operations
+	// of one class may run concurrently, so this can exceed the
+	// iteration time).
+	BusyTime float64
+}
+
+// CommStats is the per-class communication profile of an iteration.
+type CommStats map[Class]OpStats
+
+// String renders the stats in class order.
+func (cs CommStats) String() string {
+	var b strings.Builder
+	for c := Class(0); c < numClasses; c++ {
+		st, ok := cs[c]
+		if !ok || st.Ops == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s: %d ops, %.4g GB injected, %.4gs busy\n",
+			c, st.Ops, st.Bytes/1e9, st.BusyTime)
+	}
+	return b.String()
+}
+
+// statsArbiter decorates an arbiter, recording per-class operation
+// counts, injected bytes and durations.
+type statsArbiter struct {
+	inner arbiter
+	e     *engine
+	stats CommStats
+}
+
+func newStatsArbiter(inner arbiter, e *engine) *statsArbiter {
+	return &statsArbiter{inner: inner, e: e, stats: make(CommStats)}
+}
+
+func (a *statsArbiter) submit(class Class, s collective.Schedule, done func()) {
+	t0 := a.e.sched.Now()
+	bytes := s.TotalBytes()
+	a.inner.submit(class, s, func() {
+		st := a.stats[class]
+		st.Ops++
+		st.Bytes += bytes
+		st.BusyTime += a.e.sched.Now() - t0
+		a.stats[class] = st
+		done()
+	})
+}
