@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	fredsim <experiment> [-ab] [-csv]
+//	fredsim <experiment> [-ab] [-csv] [-trace out.json] [-linkstats]
+//	        [-cpuprofile out.pprof]
 //
 // Experiments:
 //
@@ -24,16 +25,30 @@
 //	all        everything above
 //
 // With -csv, tables are emitted as CSV instead of aligned text.
+//
+// Observability:
+//
+//	-trace out.json   record a Chrome trace-event JSON of every
+//	                  simulation the experiment runs (flow lifecycles,
+//	                  per-link utilization counters, collective-op
+//	                  spans); load it at https://ui.perfetto.dev or
+//	                  summarize it with cmd/fredtrace
+//	-linkstats        append per-training-run top-10 link hotspot
+//	                  tables (honours -csv)
+//	-cpuprofile f     write a runtime/pprof CPU profile of the
+//	                  simulator process itself
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"github.com/wafernet/fred/internal/experiments"
 	"github.com/wafernet/fred/internal/parallelism"
 	"github.com/wafernet/fred/internal/report"
+	"github.com/wafernet/fred/internal/trace"
 )
 
 func main() {
@@ -46,11 +61,39 @@ func main() {
 	cmd := flag.Arg(0)
 	includeAB := false
 	csv := false
+	tracePath := ""
+	linkStats := false
+	cpuProfile := ""
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	fs.BoolVar(&includeAB, "ab", false, "include Fred-A and Fred-B in fig10")
 	fs.BoolVar(&csv, "csv", false, "emit CSV instead of aligned tables")
+	fs.StringVar(&tracePath, "trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+	fs.BoolVar(&linkStats, "linkstats", false, "report top-10 link hotspots per training run")
+	fs.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile of the simulator to this file")
 	if err := fs.Parse(flag.Args()[1:]); err != nil {
 		os.Exit(2)
+	}
+
+	var rec *trace.Recorder
+	if tracePath != "" {
+		rec = trace.NewRecorder()
+		rec.SetProcessName("fredsim " + cmd)
+		experiments.SetTracer(rec)
+	}
+	if linkStats {
+		experiments.CollectLinkStats(true)
+	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fredsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fredsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	emit := func(tbls ...*report.Table) {
@@ -144,17 +187,28 @@ func main() {
 				panic("internal: unknown experiment " + name)
 			}
 		}
-		return
-	}
-	if !run(cmd) {
+	} else if !run(cmd) {
 		fmt.Fprintf(os.Stderr, "fredsim: unknown experiment %q\n\n", cmd)
 		usage()
 		os.Exit(2)
 	}
+
+	if linkStats {
+		emit(experiments.LinkStatsTables()...)
+	}
+	if rec != nil {
+		if err := rec.WriteFile(tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "fredsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fredsim: wrote %d trace events (%d spans) to %s\n",
+			rec.Len(), rec.Spans(), tracePath)
+	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fredsim <experiment> [-ab] [-csv]
+	fmt.Fprintln(os.Stderr, `usage: fredsim <experiment> [-ab] [-csv] [-trace out.json] [-linkstats]
+               [-cpuprofile out.pprof]
 
 experiments: fig1 fig2 fig9 fig10 fig11a fig11b meshio placement nonaligned
              scaling inference crossover batch profile packets heat hw

@@ -1,0 +1,237 @@
+// Command fredtrace summarizes a Chrome trace-event JSON produced by
+// fredsim or fredtrain with -trace, so traces are usable without a
+// browser: it prints the longest collective-operation spans, the
+// busiest links (time-weighted mean utilization integrated from the
+// counter series), and per-stage flow-lifecycle totals.
+//
+// Usage:
+//
+//	fredtrace [-k 10] [-csv] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/wafernet/fred/internal/report"
+)
+
+// hasCat reports whether a trace category matches a base category,
+// either exactly or with a per-network namespace suffix ("comm",
+// "comm/Baseline#1", ...).
+func hasCat(cat, base string) bool {
+	return cat == base || strings.HasPrefix(cat, base+"/")
+}
+
+func main() {
+	k := flag.Int("k", 10, "rows per table")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fredtrace [-k 10] [-csv] trace.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fredtrace:", err)
+		os.Exit(1)
+	}
+	tables, err := summarize(data, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fredtrace:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if *csv {
+			fmt.Print(t.CSV())
+			fmt.Println()
+		} else {
+			fmt.Println(t)
+		}
+	}
+}
+
+// traceEvent is the subset of the Chrome trace-event fields the
+// summarizer needs.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur"`
+	ID   string         `json:"id"`
+	Args map[string]any `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// span is one matched async begin/end pair (or complete event).
+type span struct {
+	cat, name string
+	ts, dur   float64 // microseconds
+	args      map[string]any
+}
+
+// summarize parses a trace and builds the summary tables: top-k
+// collective spans, top-k busiest links, and flow-stage totals.
+func summarize(data []byte, k int) ([]*report.Table, error) {
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, fmt.Errorf("parsing trace: %w", err)
+	}
+
+	var spans []span
+	open := make(map[string][]traceEvent) // (cat,id,name) -> begin stack
+	var maxTs float64
+	type sample struct{ ts, v float64 }
+	linkSamples := make(map[string][]sample)
+	linkOrder := []string{}
+
+	for _, e := range tf.TraceEvents {
+		if e.Ts > maxTs {
+			maxTs = e.Ts
+		}
+		switch e.Ph {
+		case "X":
+			spans = append(spans, span{cat: e.Cat, name: e.Name, ts: e.Ts, dur: e.Dur, args: e.Args})
+			if end := e.Ts + e.Dur; end > maxTs {
+				maxTs = end
+			}
+		case "b":
+			key := e.Cat + "\x00" + e.ID + "\x00" + e.Name
+			open[key] = append(open[key], e)
+		case "e":
+			key := e.Cat + "\x00" + e.ID + "\x00" + e.Name
+			stack := open[key]
+			if len(stack) == 0 {
+				continue // unmatched end; tolerate truncated traces
+			}
+			b := stack[len(stack)-1]
+			open[key] = stack[:len(stack)-1]
+			spans = append(spans, span{cat: b.Cat, name: b.Name, ts: b.Ts, dur: e.Ts - b.Ts, args: b.Args})
+		case "C":
+			if u, ok := e.Args["util"].(float64); ok {
+				if _, seen := linkSamples[e.Name]; !seen {
+					linkOrder = append(linkOrder, e.Name)
+				}
+				linkSamples[e.Name] = append(linkSamples[e.Name], sample{e.Ts, u})
+			}
+		}
+	}
+
+	// Top collective spans.
+	var comm []span
+	for _, s := range spans {
+		if hasCat(s.cat, "comm") {
+			comm = append(comm, s)
+		}
+	}
+	sort.SliceStable(comm, func(i, j int) bool {
+		if comm[i].dur != comm[j].dur {
+			return comm[i].dur > comm[j].dur
+		}
+		return comm[i].ts < comm[j].ts
+	})
+	commTbl := &report.Table{
+		Title:  "Top collective spans",
+		Header: []string{"op", "start", "duration", "injected"},
+	}
+	for i, s := range comm {
+		if i >= k {
+			break
+		}
+		bytes := "-"
+		if b, ok := s.args["bytes"].(float64); ok {
+			bytes = report.FormatBytes(b)
+		}
+		commTbl.AddRow(s.name, report.FormatSeconds(s.ts/1e6), report.FormatSeconds(s.dur/1e6), bytes)
+	}
+	commTbl.AddNote("%d collective spans in trace", len(comm))
+
+	// Busiest links: integrate each utilization counter series over
+	// [first sample, end of trace] — the series starts when the link
+	// first carries traffic, with util 0 implied before that.
+	type linkRow struct {
+		name       string
+		mean, peak float64
+	}
+	var links []linkRow
+	for _, name := range linkOrder {
+		ss := linkSamples[name]
+		var integral, peak float64
+		for i, s := range ss {
+			end := maxTs
+			if i+1 < len(ss) {
+				end = ss[i+1].ts
+			}
+			integral += s.v * (end - s.ts)
+			if s.v > peak {
+				peak = s.v
+			}
+		}
+		mean := 0.0
+		if maxTs > 0 {
+			mean = integral / maxTs
+		}
+		links = append(links, linkRow{name: name, mean: mean, peak: peak})
+	}
+	sort.SliceStable(links, func(i, j int) bool {
+		if links[i].mean != links[j].mean {
+			return links[i].mean > links[j].mean
+		}
+		return links[i].name < links[j].name
+	})
+	linkTbl := &report.Table{
+		Title:  "Busiest links (time-weighted mean utilization)",
+		Header: []string{"link", "mean util", "peak util"},
+	}
+	for i, l := range links {
+		if i >= k {
+			break
+		}
+		linkTbl.AddRow(l.name, report.FormatFraction(l.mean), report.FormatFraction(l.peak))
+	}
+	linkTbl.AddNote("%d links with utilization samples", len(links))
+
+	// Flow lifecycle stage totals.
+	type stageAgg struct {
+		count   int
+		total   float64
+		longest float64
+	}
+	stages := make(map[string]*stageAgg)
+	var stageOrder []string
+	for _, s := range spans {
+		if !hasCat(s.cat, "flow") {
+			continue
+		}
+		agg := stages[s.name]
+		if agg == nil {
+			agg = &stageAgg{}
+			stages[s.name] = agg
+			stageOrder = append(stageOrder, s.name)
+		}
+		agg.count++
+		agg.total += s.dur
+		if s.dur > agg.longest {
+			agg.longest = s.dur
+		}
+	}
+	sort.Strings(stageOrder)
+	flowTbl := &report.Table{
+		Title:  "Flow lifecycle stages",
+		Header: []string{"stage", "spans", "total time", "longest"},
+	}
+	for _, name := range stageOrder {
+		agg := stages[name]
+		flowTbl.AddRow(name, agg.count, report.FormatSeconds(agg.total/1e6), report.FormatSeconds(agg.longest/1e6))
+	}
+
+	return []*report.Table{commTbl, linkTbl, flowTbl}, nil
+}

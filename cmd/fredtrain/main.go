@@ -6,19 +6,27 @@
 //
 //	fredtrain [-model t17b] [-system Fred-D] [-mp 3 -dp 3 -pp 2]
 //	          [-batch 16] [-schedule gpipe|1f1b] [-buckets 1] [-profile]
+//	          [-trace out.json] [-linkstats] [-cpuprofile out.pprof]
 //
 // Models: resnet152, t17b, gpt3, t1t.
 // Systems: Baseline, Fred-A, Fred-B, Fred-C, Fred-D.
+//
+// -trace records the iteration as Chrome trace-event JSON (flow
+// lifecycles, link-utilization counters, one span per collective op)
+// for Perfetto or cmd/fredtrace; -linkstats prints the top-10 link
+// hotspots of the run; -cpuprofile profiles the simulator itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	fredapi "github.com/wafernet/fred"
 	"github.com/wafernet/fred/internal/experiments"
+	"github.com/wafernet/fred/internal/trace"
 	"github.com/wafernet/fred/internal/training"
 	"github.com/wafernet/fred/internal/workload"
 )
@@ -33,6 +41,9 @@ func main() {
 	schedule := flag.String("schedule", "gpipe", "pipeline schedule: gpipe or 1f1b")
 	buckets := flag.Int("buckets", 1, "DP gradient buckets (overlap granularity)")
 	profile := flag.Bool("profile", false, "print the per-class communication profile")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+	linkStats := flag.Bool("linkstats", false, "print the top-10 link hotspots of the run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 	flag.Parse()
 
 	m, err := lookupModel(*modelName)
@@ -56,18 +67,52 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fredtrain:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fredtrain:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	wafer := experiments.Build(experiments.System(*system))
-	r, err := training.Simulate(training.Config{
+	cfg := training.Config{
 		Wafer:               wafer,
 		Model:               m,
 		Strategy:            strat,
 		MinibatchPerReplica: *batch,
 		GradBuckets:         *buckets,
 		Schedule:            sched,
-	})
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder()
+		rec.SetProcessName(fmt.Sprintf("fredtrain %s %s", m.Name, *system))
+		cfg.Tracer = rec
+		trace.AttachSchedulerCounter(wafer.Network().Scheduler(), rec, "scheduler", 4096)
+	}
+	if *linkStats {
+		wafer.Network().EnableLinkTelemetry()
+	}
+	r, err := training.Simulate(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fredtrain:", err)
 		os.Exit(1)
+	}
+	if rec != nil {
+		rec.Span("train", "iteration", 0, r.Total,
+			trace.String("model", m.Name), trace.String("system", *system))
+		if err := rec.WriteFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "fredtrain:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fredtrain: wrote %d trace events (%d spans) to %s\n",
+			rec.Len(), rec.Spans(), *tracePath)
 	}
 
 	fmt.Printf("%s on %s, %v, %d samples/replica, %s schedule\n",
@@ -80,6 +125,10 @@ func main() {
 	fmt.Println()
 	if *profile {
 		fmt.Printf("\ncommunication profile:\n%s", r.Comm)
+	}
+	if *linkStats {
+		fmt.Printf("\n%s", wafer.Network().HotspotTable(
+			fmt.Sprintf("Link hotspots: %s, %v on %s", m.Name, strat, *system), 10))
 	}
 }
 

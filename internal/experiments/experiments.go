@@ -31,9 +31,11 @@ const (
 func Systems() []System { return []System{Baseline, FredA, FredB, FredC, FredD} }
 
 // Build instantiates a fresh wafer (own scheduler and network) for a
-// system.
+// system, applying any observability hooks installed with SetTracer /
+// CollectLinkStats.
 func Build(s System) topology.Wafer {
 	net := netsim.New(sim.NewScheduler())
+	observeNetwork(net, s)
 	switch s {
 	case Baseline:
 		return topology.NewMesh(net, topology.DefaultMeshConfig())
@@ -46,12 +48,19 @@ func Build(s System) topology.Wafer {
 // RunTraining simulates one iteration of the model under the strategy
 // on a fresh instance of the system.
 func RunTraining(s System, m *workload.Model, strat parallelism.Strategy, perReplica int) *training.Report {
-	return training.MustSimulate(training.Config{
-		Wafer:               Build(s),
+	w := Build(s)
+	r := training.MustSimulate(training.Config{
+		Wafer:               w,
 		Model:               m,
 		Strategy:            strat,
 		MinibatchPerReplica: perReplica,
+		Tracer:              obsTracer,
 	})
+	if obsLinkStats {
+		title := fmt.Sprintf("Link hotspots: %s, %v on %s", m.Name, strat, s)
+		obsLinkTables = append(obsLinkTables, w.Network().HotspotTable(title, 10))
+	}
+	return r
 }
 
 // defaultStrategy returns the Table 6 strategy of a model.

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/wafernet/fred/internal/netsim"
+	"github.com/wafernet/fred/internal/report"
+	"github.com/wafernet/fred/internal/trace"
+)
+
+// The experiment drivers build fresh simulator instances internally,
+// so observability is attached through package-level hooks that Build
+// and RunTraining consult: cmd/fredsim sets them from its -trace and
+// -linkstats flags. They are not safe for concurrent experiment runs
+// (the drivers are single-threaded).
+var (
+	obsTracer     trace.Tracer
+	obsLinkStats  bool
+	obsLinkTables []*report.Table
+	obsBuildSeq   int
+)
+
+// SetTracer attaches a tracer to every subsequently built system:
+// its network (flow spans, link counters), its scheduler (event-count
+// samples) and its training runs (collective-op spans) all record into
+// it. Pass nil to detach. The per-build namespace sequence restarts,
+// so attaching a fresh tracer and rerunning an experiment reproduces
+// the previous trace byte for byte.
+func SetTracer(tr trace.Tracer) {
+	obsTracer = tr
+	obsBuildSeq = 0
+}
+
+// CollectLinkStats toggles per-run link-telemetry collection: every
+// subsequent RunTraining appends a top-10 hotspot table, retrievable
+// with LinkStatsTables. Enabling resets previously collected tables.
+func CollectLinkStats(on bool) {
+	obsLinkStats = on
+	obsLinkTables = nil
+}
+
+// LinkStatsTables returns the hotspot tables collected since
+// CollectLinkStats(true), one per training run, in run order.
+func LinkStatsTables() []*report.Table { return obsLinkTables }
+
+// observeNetwork applies the package hooks to a freshly built wafer
+// network. Each traced build gets a unique "<system>#<seq>" trace
+// namespace so the many runs of one experiment, whose simulated clocks
+// all start at zero, stay distinguishable in the merged trace.
+func observeNetwork(net *netsim.Network, system System) {
+	if obsTracer != nil {
+		obsBuildSeq++
+		net.SetName(fmt.Sprintf("%s#%d", system, obsBuildSeq))
+		net.SetTracer(obsTracer)
+		trace.AttachSchedulerCounter(net.Scheduler(), obsTracer,
+			"scheduler/"+net.Name(), 4096)
+	}
+	if obsLinkStats {
+		net.EnableLinkTelemetry()
+	}
+}

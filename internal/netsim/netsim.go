@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"github.com/wafernet/fred/internal/sim"
+	"github.com/wafernet/fred/internal/trace"
 )
 
 // NodeID identifies a node within a Network.
@@ -39,12 +40,24 @@ type Link struct {
 	Latency   float64 // seconds per traversal
 	Name      string
 
+	net       *Network
 	flows     []*Flow
 	bytesDone float64 // cumulative bytes carried, for utilisation reports
+	peakUtil  float64 // max instantaneous utilization (telemetry/tracing only)
 }
 
-// BytesCarried reports the cumulative bytes this link has transferred.
-func (l *Link) BytesCarried() float64 { return l.bytesDone }
+// BytesCarried reports the cumulative bytes this link has transferred,
+// settled to the current simulated time.
+func (l *Link) BytesCarried() float64 {
+	l.net.settle()
+	return l.bytesDone
+}
+
+// PeakUtil reports the link's maximum observed instantaneous
+// utilization (sum of flow rates over bandwidth). It is only tracked
+// while link telemetry or tracing is enabled on the network; infinite-
+// bandwidth links always report zero.
+func (l *Link) PeakUtil() float64 { return l.peakUtil }
 
 // FlowState describes where a Flow is in its lifecycle.
 type FlowState int
@@ -97,19 +110,27 @@ type FlowSpec struct {
 
 // Flow is an in-flight transfer.
 type Flow struct {
-	net       *Network
-	links     []*Link
-	label     string
-	latency   float64
-	state     FlowState
-	remaining float64
-	rate      float64
-	started   sim.Time
-	finished  sim.Time
-	done      func(*Flow)
-	complete  *sim.Event
-	latEvent  *sim.Event
+	net        *Network
+	id         uint64
+	links      []*Link
+	label      string
+	latency    float64
+	state      FlowState
+	total      float64
+	remaining  float64
+	rate       float64
+	started    sim.Time
+	finished   sim.Time
+	done       func(*Flow)
+	complete   *sim.Event
+	latEvent   *sim.Event
+	stageStart sim.Time // start of the current lifecycle stage (tracing)
+	lastRate   float64  // last rate sample emitted to the tracer
 }
+
+// ID returns the flow's network-unique sequence number (assigned in
+// StartFlow order).
+func (f *Flow) ID() uint64 { return f.id }
 
 // State returns the flow's lifecycle state.
 func (f *Flow) State() FlowState { return f.state }
@@ -142,22 +163,67 @@ type Network struct {
 	nodes []string
 	links []*Link
 
-	active      map[*Flow]struct{}
+	// active is kept as an ordered slice (activation order) rather than
+	// a set: every settlement and rate-recomputation pass iterates it,
+	// and a deterministic order makes float accumulation, completion-
+	// event tie-breaking and trace emission reproducible bit-for-bit.
+	active      []*Flow
 	lastSettle  sim.Time
 	dirty       bool
 	recomputing bool
+
+	flowSeq   uint64
+	tracer    trace.Tracer
+	telemetry bool
+	lastUtil  []float64 // per-link last utilization sample sent to the tracer
+
+	name       string // trace namespace (SetName)
+	catFlow    string
+	linkPrefix string
+	trackNet   string
 }
 
 // New creates an empty network driven by the given scheduler.
 func New(s *sim.Scheduler) *Network {
-	return &Network{
-		sched:  s,
-		active: make(map[*Flow]struct{}),
+	n := &Network{sched: s}
+	n.SetName("")
+	return n
+}
+
+// SetName assigns a trace namespace to this network instance. When
+// several independent simulations record into one shared tracer (the
+// experiment drivers build a fresh network per run), the name keeps
+// their flow categories, link counters and ids from colliding on the
+// merged timeline. An empty name uses the bare track names.
+func (n *Network) SetName(name string) {
+	n.name = name
+	if name == "" {
+		n.catFlow, n.linkPrefix, n.trackNet = "flow", "link/", "net"
+	} else {
+		n.catFlow, n.linkPrefix, n.trackNet = "flow/"+name, "link/"+name+"/", "net/"+name
 	}
 }
 
+// Name returns the trace namespace set with SetName.
+func (n *Network) Name() string { return n.name }
+
 // Scheduler returns the scheduler driving this network.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// SetTracer attaches an observability tracer: flows emit lifecycle
+// spans (latency → active → paused → done) on the "flow" async
+// category, links emit utilization counter series, and the network
+// emits an active-flow counter. A nil tracer (the default) disables
+// all of it; the hot paths then pay only nil checks.
+func (n *Network) SetTracer(tr trace.Tracer) { n.tracer = tr }
+
+// Tracer returns the attached tracer, or nil.
+func (n *Network) Tracer() trace.Tracer { return n.tracer }
+
+// EnableLinkTelemetry turns on per-link peak-utilization tracking,
+// feeding Link.PeakUtil and the TopLinks hotspot report. Byte
+// accounting (Link.BytesCarried, mean utilization) is always on.
+func (n *Network) EnableLinkTelemetry() { n.telemetry = true }
 
 // AddNode registers a node and returns its ID.
 func (n *Network) AddNode(name string) NodeID {
@@ -190,6 +256,7 @@ func (n *Network) AddLink(src, dst NodeID, bandwidth, latency float64, name stri
 		Bandwidth: bandwidth,
 		Latency:   latency,
 		Name:      name,
+		net:       n,
 	}
 	n.links = append(n.links, l)
 	return l.ID
@@ -210,13 +277,17 @@ func (n *Network) StartFlow(spec FlowSpec) *Flow {
 		panic(fmt.Sprintf("netsim: flow %q negative bytes %g", spec.Label, spec.Bytes))
 	}
 	f := &Flow{
-		net:       n,
-		label:     spec.Label,
-		remaining: spec.Bytes,
-		done:      spec.Done,
-		started:   n.sched.Now(),
-		state:     FlowLatency,
+		net:        n,
+		id:         n.flowSeq,
+		label:      spec.Label,
+		total:      spec.Bytes,
+		remaining:  spec.Bytes,
+		done:       spec.Done,
+		started:    n.sched.Now(),
+		stageStart: n.sched.Now(),
+		state:      FlowLatency,
 	}
+	n.flowSeq++
 	lat := spec.Latency
 	if lat < 0 {
 		lat = 0
@@ -242,7 +313,18 @@ func (n *Network) StartFlow(spec FlowSpec) *Flow {
 	return f
 }
 
+// traceStage closes the flow's current lifecycle stage with a span on
+// its async track and opens the next one.
+func (n *Network) traceStage(f *Flow, stage string) {
+	now := n.sched.Now()
+	if n.tracer != nil {
+		n.tracer.AsyncSpan(n.catFlow, stage, f.id, f.stageStart, now, trace.String("label", f.label))
+	}
+	f.stageStart = now
+}
+
 func (n *Network) activate(f *Flow) {
+	n.traceStage(f, "latency")
 	if f.remaining <= 0 {
 		f.state = FlowActive // momentarily, for finish bookkeeping
 		n.finish(f)
@@ -250,7 +332,7 @@ func (n *Network) activate(f *Flow) {
 	}
 	n.settle()
 	f.state = FlowActive
-	n.active[f] = struct{}{}
+	n.active = append(n.active, f)
 	for _, l := range f.links {
 		l.flows = append(l.flows, f)
 	}
@@ -266,6 +348,7 @@ func (f *Flow) Pause() {
 	case FlowActive:
 		n.settle()
 		n.detach(f)
+		n.traceStage(f, "active")
 		f.state = FlowPaused
 		n.markDirty()
 	case FlowLatency:
@@ -273,6 +356,7 @@ func (f *Flow) Pause() {
 			n.sched.Cancel(f.latEvent)
 			f.latEvent = nil
 		}
+		n.traceStage(f, "latency")
 		f.state = FlowPaused
 	}
 }
@@ -284,6 +368,7 @@ func (f *Flow) Resume() {
 		return
 	}
 	n := f.net
+	n.traceStage(f, "paused")
 	f.state = FlowLatency
 	f.latEvent = n.sched.After(f.latency, func() {
 		f.latEvent = nil
@@ -298,20 +383,35 @@ func (f *Flow) Cancel() {
 	case FlowActive:
 		n.settle()
 		n.detach(f)
+		n.traceStage(f, "active")
 		n.markDirty()
 	case FlowLatency:
 		if f.latEvent != nil {
 			n.sched.Cancel(f.latEvent)
 			f.latEvent = nil
 		}
+		n.traceStage(f, "latency")
+	case FlowPaused:
+		n.traceStage(f, "paused")
+	case FlowDone:
+		return
 	}
 	f.state = FlowDone
 	f.finished = n.sched.Now()
+	if n.tracer != nil {
+		n.tracer.AsyncInstant(n.catFlow, "canceled", f.id, f.finished,
+			trace.String("label", f.label), trace.Float("remaining", f.remaining))
+	}
 }
 
 // detach removes the flow from its links and the active set.
 func (n *Network) detach(f *Flow) {
-	delete(n.active, f)
+	for i, g := range n.active {
+		if g == f {
+			n.active = append(n.active[:i], n.active[i+1:]...)
+			break
+		}
+	}
 	for _, l := range f.links {
 		for i, g := range l.flows {
 			if g == f {
@@ -331,18 +431,25 @@ func (n *Network) finish(f *Flow) {
 	if f.state == FlowActive {
 		n.settle()
 		n.detach(f)
+		n.traceStage(f, "active")
 		n.markDirty()
 	}
 	f.state = FlowDone
 	f.remaining = 0
 	f.finished = n.sched.Now()
+	if n.tracer != nil {
+		n.tracer.AsyncInstant(n.catFlow, "done", f.id, f.finished,
+			trace.String("label", f.label), trace.Float("bytes", f.total))
+	}
 	if f.done != nil {
 		f.done(f)
 	}
 }
 
 // settle advances all active flows' byte counters to the current time
-// at their last-computed rates, and accrues link utilisation.
+// at their last-computed rates, and accrues link utilisation. The
+// active slice is iterated in activation order so the floating-point
+// accumulation into link byte counters is deterministic.
 func (n *Network) settle() {
 	now := n.sched.Now()
 	dt := now - n.lastSettle
@@ -350,7 +457,7 @@ func (n *Network) settle() {
 		n.lastSettle = now
 		return
 	}
-	for f := range n.active {
+	for _, f := range n.active {
 		moved := f.rate * dt
 		if moved > f.remaining {
 			moved = f.remaining
@@ -388,7 +495,7 @@ func (n *Network) recompute() {
 	}
 	states := make(map[*Link]*linkState)
 	frozen := make(map[*Flow]bool, len(n.active))
-	for f := range n.active {
+	for _, f := range n.active {
 		f.rate = 0
 		for _, l := range f.links {
 			if math.IsInf(l.Bandwidth, 1) {
@@ -415,7 +522,7 @@ func (n *Network) recompute() {
 		}
 		if math.IsInf(delta, 1) {
 			// Remaining flows traverse only infinite-bandwidth links.
-			for f := range n.active {
+			for _, f := range n.active {
 				if !frozen[f] {
 					f.rate = math.Inf(1)
 					frozen[f] = true
@@ -424,7 +531,7 @@ func (n *Network) recompute() {
 			}
 			break
 		}
-		for f := range n.active {
+		for _, f := range n.active {
 			if !frozen[f] {
 				f.rate += delta
 			}
@@ -435,7 +542,7 @@ func (n *Network) recompute() {
 			}
 		}
 		// Freeze flows crossing any saturated link.
-		for f := range n.active {
+		for _, f := range n.active {
 			if frozen[f] {
 				continue
 			}
@@ -451,7 +558,7 @@ func (n *Network) recompute() {
 		for _, st := range states {
 			st.unfrozen = 0
 		}
-		for f := range n.active {
+		for _, f := range n.active {
 			if frozen[f] {
 				continue
 			}
@@ -463,9 +570,11 @@ func (n *Network) recompute() {
 		}
 	}
 
-	// Reschedule completions at the new rates.
+	// Reschedule completions at the new rates. Iterating the active
+	// slice in order makes same-time completion events tie-break by
+	// activation order — the (time, seq) contract.
 	now := n.sched.Now()
-	for f := range n.active {
+	for _, f := range n.active {
 		if f.complete != nil {
 			n.sched.Cancel(f.complete)
 			f.complete = nil
@@ -484,6 +593,51 @@ func (n *Network) recompute() {
 		g := f
 		f.complete = n.sched.At(eta, func() { n.finish(g) })
 	}
+
+	if n.tracer != nil || n.telemetry {
+		n.observeRates(now)
+	}
+}
+
+// observeRates runs after every rate recomputation when telemetry or
+// tracing is on: it updates per-link peak utilization and emits
+// changed link-utilization and flow-rate samples to the tracer. All
+// iteration is over ordered slices, keeping traces deterministic.
+func (n *Network) observeRates(now sim.Time) {
+	if n.lastUtil == nil {
+		n.lastUtil = make([]float64, len(n.links))
+	}
+	for len(n.lastUtil) < len(n.links) {
+		n.lastUtil = append(n.lastUtil, 0)
+	}
+	for _, l := range n.links {
+		if math.IsInf(l.Bandwidth, 1) {
+			continue
+		}
+		sum := 0.0
+		for _, f := range l.flows {
+			sum += f.rate
+		}
+		util := sum / l.Bandwidth
+		if util > l.peakUtil {
+			l.peakUtil = util
+		}
+		if n.tracer != nil && util != n.lastUtil[l.ID] {
+			n.tracer.Counter(n.linkPrefix+l.Name, "util", now, util)
+			n.lastUtil[l.ID] = util
+		}
+	}
+	if n.tracer == nil {
+		return
+	}
+	n.tracer.Counter(n.trackNet, "active_flows", now, float64(len(n.active)))
+	for _, f := range n.active {
+		if f.rate != f.lastRate && !math.IsInf(f.rate, 1) {
+			n.tracer.AsyncInstant(n.catFlow, "rate", f.id, now,
+				trace.String("label", f.label), trace.Float("bps", f.rate))
+			f.lastRate = f.rate
+		}
+	}
 }
 
 // LinkRates returns each active flow's rate summed per link, primarily
@@ -491,7 +645,7 @@ func (n *Network) recompute() {
 func (n *Network) LinkRates() map[LinkID]float64 {
 	n.settle()
 	out := make(map[LinkID]float64)
-	for f := range n.active {
+	for _, f := range n.active {
 		for _, l := range f.links {
 			out[l.ID] += f.rate
 		}

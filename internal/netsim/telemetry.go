@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+
+	"github.com/wafernet/fred/internal/report"
+)
+
+// LinkUsage summarizes one link's traffic over a run: cumulative
+// bytes, time-weighted mean utilization over the simulated horizon,
+// and (when telemetry is enabled) peak instantaneous utilization.
+// It is the row type of the top-K hotspot report that names the
+// congested links — on a mesh the corner-NPU edges and I/O feeds, on
+// FRED the L1→L2 leaf uplinks.
+type LinkUsage struct {
+	ID       LinkID
+	Name     string
+	Bytes    float64
+	MeanUtil float64 // Bytes / (Bandwidth × horizon); 0 for infinite-BW links
+	PeakUtil float64 // max sum-of-rates / Bandwidth; tracked only with telemetry on
+}
+
+// TopLinks returns the k most-utilized links, ordered by mean
+// utilization, then peak, then bytes (descending; ties by ID so the
+// report is deterministic). k ≤ 0 returns every link. The horizon for
+// mean utilization is the current simulated time.
+func (n *Network) TopLinks(k int) []LinkUsage {
+	n.settle()
+	horizon := n.sched.Now()
+	out := make([]LinkUsage, 0, len(n.links))
+	for _, l := range n.links {
+		u := LinkUsage{ID: l.ID, Name: l.Name, Bytes: l.bytesDone, PeakUtil: l.peakUtil}
+		if horizon > 0 && !math.IsInf(l.Bandwidth, 1) {
+			u.MeanUtil = l.bytesDone / (l.Bandwidth * horizon)
+		}
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.MeanUtil != b.MeanUtil {
+			return a.MeanUtil > b.MeanUtil
+		}
+		if a.PeakUtil != b.PeakUtil {
+			return a.PeakUtil > b.PeakUtil
+		}
+		if a.Bytes != b.Bytes {
+			return a.Bytes > b.Bytes
+		}
+		return a.ID < b.ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// HotspotTable renders the top-K link report as a report.Table (so
+// cmd/fredsim's -csv flag applies to it like any other table).
+func (n *Network) HotspotTable(title string, k int) *report.Table {
+	tbl := &report.Table{
+		Title:  title,
+		Header: []string{"link", "bytes", "mean util", "peak util"},
+	}
+	for _, u := range n.TopLinks(k) {
+		tbl.AddRow(u.Name, report.FormatBytes(u.Bytes),
+			report.FormatFraction(u.MeanUtil), report.FormatFraction(u.PeakUtil))
+	}
+	if !n.telemetry {
+		tbl.AddNote("peak utilization requires EnableLinkTelemetry")
+	}
+	return tbl
+}

@@ -97,6 +97,22 @@ func FormatSeconds(s float64) string {
 // FormatX renders a ratio like "1.76x".
 func FormatX(r float64) string { return fmt.Sprintf("%.2fx", r) }
 
+// FormatBytes renders a byte count with an adaptive unit.
+func FormatBytes(b float64) string {
+	switch {
+	case b >= 1e12:
+		return fmt.Sprintf("%.3g TB", b/1e12)
+	case b >= 1e9:
+		return fmt.Sprintf("%.3g GB", b/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.3g MB", b/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.3g kB", b/1e3)
+	default:
+		return fmt.Sprintf("%.3g B", b)
+	}
+}
+
 // FormatBW renders bytes/second with an adaptive unit.
 func FormatBW(bps float64) string {
 	switch {

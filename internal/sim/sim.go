@@ -80,7 +80,14 @@ type Scheduler struct {
 	queue  eventQueue
 	fired  uint64
 	halted bool
+	hook   func(now Time, fired uint64)
 }
+
+// SetEventHook installs an optional observer invoked after each event
+// callback returns, with the clock and the cumulative fired count.
+// Observability layers use it to sample scheduler load; a nil hook
+// (the default) disables it. The hook must not mutate the scheduler.
+func (s *Scheduler) SetEventHook(h func(now Time, fired uint64)) { s.hook = h }
 
 // NewScheduler returns a scheduler with the clock at zero.
 func NewScheduler() *Scheduler { return &Scheduler{} }
@@ -141,6 +148,9 @@ func (s *Scheduler) Step() bool {
 	s.now = e.when
 	s.fired++
 	e.fn()
+	if s.hook != nil {
+		s.hook(s.now, s.fired)
+	}
 	return true
 }
 
@@ -153,19 +163,18 @@ func (s *Scheduler) Run() Time {
 	return s.now
 }
 
-// RunUntil executes events with timestamps ≤ deadline; the clock is
-// left at the last executed event (or deadline if nothing fired beyond
-// it but events remain).
+// RunUntil executes every event with a timestamp ≤ deadline and then
+// advances the clock to the deadline, whether or not later events
+// remain queued, so the returned time always equals the deadline (or
+// the current clock, if it is already past it). A Halt from within an
+// event callback stops execution immediately, leaving the clock at the
+// halting event.
 func (s *Scheduler) RunUntil(deadline Time) Time {
 	s.halted = false
 	for !s.halted && len(s.queue) > 0 && s.queue[0].when <= deadline {
 		s.Step()
 	}
-	if s.now < deadline && len(s.queue) > 0 {
-		// Queue has only later events; clock stays where it is.
-		return s.now
-	}
-	if s.now < deadline {
+	if !s.halted && s.now < deadline {
 		s.now = deadline
 	}
 	return s.now

@@ -316,3 +316,66 @@ func TestPropertyCancelPreservesOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: RunUntil used to return with the clock stuck at the last
+// fired event whenever events remained beyond the deadline, so the
+// clock only reached the deadline on an empty queue. The documented
+// contract is that the clock always advances to the deadline.
+func TestRunUntilAdvancesClockWithPendingEvents(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	s.At(1, func() { fired++ })
+	s.At(10, func() { fired++ })
+	if got := s.RunUntil(5); got != 5 {
+		t.Fatalf("RunUntil(5) = %g, want 5", got)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now() = %g after RunUntil(5) with a pending event at 10, want 5", s.Now())
+	}
+	if fired != 1 || s.Pending() != 1 {
+		t.Fatalf("fired %d events with %d pending, want 1 and 1", fired, s.Pending())
+	}
+	// The remaining event is untouched and fires on resume.
+	s.Run()
+	if fired != 2 || s.Now() != 10 {
+		t.Fatalf("after resume: fired %d at %g, want 2 at 10", fired, s.Now())
+	}
+}
+
+func TestRunUntilHaltLeavesClockAtEvent(t *testing.T) {
+	s := NewScheduler()
+	s.At(2, func() { s.Halt() })
+	s.At(3, func() {})
+	if got := s.RunUntil(9); got != 2 {
+		t.Fatalf("halted RunUntil(9) = %g, want clock left at halting event 2", got)
+	}
+}
+
+func TestSetEventHook(t *testing.T) {
+	s := NewScheduler()
+	type sample struct {
+		now   Time
+		fired uint64
+	}
+	var got []sample
+	s.SetEventHook(func(now Time, fired uint64) { got = append(got, sample{now, fired}) })
+	s.At(1, func() {})
+	s.At(4, func() {})
+	s.Run()
+	want := []sample{{1, 1}, {4, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("hook calls = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hook calls = %v, want %v", got, want)
+		}
+	}
+	// Detaching stops the callbacks.
+	s.SetEventHook(nil)
+	s.At(5, func() {})
+	s.Run()
+	if len(got) != 2 {
+		t.Fatalf("hook fired after detach: %v", got)
+	}
+}

@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"github.com/wafernet/fred/internal/sim"
+)
+
+type recKind uint8
+
+const (
+	recSpan       recKind = iota
+	recAsyncBegin         // paired begin/end emitted from one AsyncSpan record
+	recAsyncInstant
+	recInstant
+	recCounter
+)
+
+type record struct {
+	kind  recKind
+	tid   int // synchronous track id (1-based); 0 for async/counter
+	cat   string
+	name  string
+	id    uint64
+	ts    float64 // microseconds
+	dur   float64 // microseconds, spans only
+	args  []Arg
+	value float64 // counters only
+}
+
+// Recorder is a Tracer that accumulates events in memory and exports
+// them as Chrome trace-event JSON ("JSON Object Format"). Export is
+// fully deterministic: track ids are assigned in first-use order,
+// events are written in emission order, and floats are formatted with
+// strconv so identical runs produce byte-identical files.
+type Recorder struct {
+	records []record
+	tids    map[string]int
+	tracks  []string // index i holds the name of tid i+1
+	process string
+}
+
+// NewRecorder returns an empty Recorder whose exported process is
+// named "fred-sim".
+func NewRecorder() *Recorder {
+	return &Recorder{tids: make(map[string]int), process: "fred-sim"}
+}
+
+// SetProcessName overrides the process name shown in the trace viewer.
+func (r *Recorder) SetProcessName(name string) { r.process = name }
+
+// Len returns the number of recorded events (an AsyncSpan counts
+// once even though it exports a begin/end pair).
+func (r *Recorder) Len() int { return len(r.records) }
+
+// Spans returns the number of recorded duration events (Span and
+// AsyncSpan records).
+func (r *Recorder) Spans() int {
+	n := 0
+	for i := range r.records {
+		if r.records[i].kind == recSpan || r.records[i].kind == recAsyncBegin {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Recorder) tid(track string) int {
+	if id, ok := r.tids[track]; ok {
+		return id
+	}
+	r.tracks = append(r.tracks, track)
+	id := len(r.tracks)
+	r.tids[track] = id
+	return id
+}
+
+const usPerSec = 1e6
+
+// Span implements Tracer.
+func (r *Recorder) Span(track, name string, start, end sim.Time, args ...Arg) {
+	r.records = append(r.records, record{
+		kind: recSpan, tid: r.tid(track), name: name,
+		ts: start * usPerSec, dur: (end - start) * usPerSec, args: args,
+	})
+}
+
+// AsyncSpan implements Tracer.
+func (r *Recorder) AsyncSpan(cat, name string, id uint64, start, end sim.Time, args ...Arg) {
+	r.records = append(r.records, record{
+		kind: recAsyncBegin, cat: cat, name: name, id: id,
+		ts: start * usPerSec, dur: (end - start) * usPerSec, args: args,
+	})
+}
+
+// AsyncInstant implements Tracer.
+func (r *Recorder) AsyncInstant(cat, name string, id uint64, t sim.Time, args ...Arg) {
+	r.records = append(r.records, record{
+		kind: recAsyncInstant, cat: cat, name: name, id: id,
+		ts: t * usPerSec, args: args,
+	})
+}
+
+// Instant implements Tracer.
+func (r *Recorder) Instant(track, name string, t sim.Time, args ...Arg) {
+	r.records = append(r.records, record{
+		kind: recInstant, tid: r.tid(track), name: name,
+		ts: t * usPerSec, args: args,
+	})
+}
+
+// Counter implements Tracer.
+func (r *Recorder) Counter(track, series string, t sim.Time, value float64) {
+	r.records = append(r.records, record{
+		kind: recCounter, name: track, cat: series,
+		ts: t * usPerSec, value: value,
+	})
+}
+
+var _ Tracer = (*Recorder)(nil)
+
+// ftoa formats a float deterministically for JSON. The trace format
+// has no encoding for non-finite numbers, so they are clamped.
+func ftoa(f float64) string {
+	if math.IsInf(f, 1) || math.IsNaN(f) {
+		f = math.MaxFloat64
+	} else if math.IsInf(f, -1) {
+		f = -math.MaxFloat64
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func appendArgs(b []byte, args []Arg) []byte {
+	b = append(b, `,"args":{`...)
+	for i, a := range args {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, a.Key)
+		b = append(b, ':')
+		switch v := a.Value.(type) {
+		case string:
+			b = strconv.AppendQuote(b, v)
+		case float64:
+			b = append(b, ftoa(v)...)
+		case int:
+			b = strconv.AppendInt(b, int64(v), 10)
+		case uint64:
+			b = strconv.AppendUint(b, v, 10)
+		case bool:
+			b = strconv.AppendBool(b, v)
+		default:
+			b = strconv.AppendQuote(b, fmt.Sprint(v))
+		}
+	}
+	return append(b, '}')
+}
+
+// appendEvent renders one trace event object (no trailing separator).
+func appendEvent(b []byte, ph byte, name, cat string, tid int, id uint64, hasID bool, ts float64, hasDur bool, dur float64, args []Arg) []byte {
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, name)
+	if cat != "" {
+		b = append(b, `,"cat":`...)
+		b = strconv.AppendQuote(b, cat)
+	}
+	b = append(b, `,"ph":"`...)
+	b = append(b, ph)
+	b = append(b, `","pid":1,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	if hasID {
+		b = append(b, `,"id":"`...)
+		b = strconv.AppendUint(b, id, 10)
+		b = append(b, '"')
+	}
+	b = append(b, `,"ts":`...)
+	b = append(b, ftoa(ts)...)
+	if hasDur {
+		b = append(b, `,"dur":`...)
+		b = append(b, ftoa(dur)...)
+	}
+	if args != nil {
+		b = appendArgs(b, args)
+	}
+	return append(b, '}')
+}
+
+// WriteJSON exports the trace in Chrome trace-event JSON object
+// format.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString(`{"traceEvents":[`)
+	var scratch []byte
+	writeEvent := func(b []byte) {
+		bw.WriteString("\n")
+		bw.Write(b)
+		bw.WriteString(",")
+	}
+	// Metadata: process name, then one thread per synchronous track in
+	// first-use order.
+	scratch = appendEvent(scratch[:0], 'M', "process_name", "", 0, 0, false, 0, false, 0,
+		[]Arg{String("name", r.process)})
+	writeEvent(scratch)
+	for i, track := range r.tracks {
+		scratch = appendEvent(scratch[:0], 'M', "thread_name", "", i+1, 0, false, 0, false, 0,
+			[]Arg{String("name", track)})
+		writeEvent(scratch)
+	}
+	for i := range r.records {
+		rec := &r.records[i]
+		switch rec.kind {
+		case recSpan:
+			scratch = appendEvent(scratch[:0], 'X', rec.name, "", rec.tid, 0, false, rec.ts, true, rec.dur, rec.args)
+			writeEvent(scratch)
+		case recAsyncBegin:
+			scratch = appendEvent(scratch[:0], 'b', rec.name, rec.cat, 0, rec.id, true, rec.ts, false, 0, rec.args)
+			writeEvent(scratch)
+			scratch = appendEvent(scratch[:0], 'e', rec.name, rec.cat, 0, rec.id, true, rec.ts+rec.dur, false, 0, nil)
+			writeEvent(scratch)
+		case recAsyncInstant:
+			scratch = appendEvent(scratch[:0], 'n', rec.name, rec.cat, 0, rec.id, true, rec.ts, false, 0, rec.args)
+			writeEvent(scratch)
+		case recInstant:
+			scratch = appendEvent(scratch[:0], 'i', rec.name, "", rec.tid, 0, false, rec.ts, false, 0, rec.args)
+			writeEvent(scratch)
+		case recCounter:
+			scratch = appendEvent(scratch[:0], 'C', rec.name, "", 0, 0, false, rec.ts, false, 0,
+				[]Arg{{Key: rec.cat, Value: rec.value}})
+			writeEvent(scratch)
+		}
+	}
+	// Close the array with a final metadata event so every element can
+	// end with a comma (the format tolerates it, but valid JSON is
+	// nicer for tools): emit a terminator object instead.
+	bw.WriteString("\n")
+	scratch = appendEvent(scratch[:0], 'M', "trace_complete", "", 0, 0, false, 0, false, 0,
+		[]Arg{Int("events", len(r.records))})
+	bw.Write(scratch)
+	bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	return bw.Flush()
+}
+
+// WriteFile exports the trace to a file.
+func (r *Recorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

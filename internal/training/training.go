@@ -33,6 +33,7 @@ import (
 	"github.com/wafernet/fred/internal/placement"
 	"github.com/wafernet/fred/internal/sim"
 	"github.com/wafernet/fred/internal/topology"
+	"github.com/wafernet/fred/internal/trace"
 	"github.com/wafernet/fred/internal/workload"
 )
 
@@ -100,6 +101,13 @@ type Config struct {
 	// PP−stage microbatches instead of all of them — a schedule
 	// ablation interacting with the HBM/recompute model.
 	Schedule PipelineSchedule
+	// Tracer, when non-nil, records the iteration: one span per
+	// collective operation (category "comm", tagged with class,
+	// strategy and injected bytes) plus the flow-level spans and link
+	// counters of the underlying network. If the wafer's network
+	// already has a tracer attached, it is adopted when this field is
+	// nil; otherwise this tracer is attached to the network too.
+	Tracer trace.Tracer
 }
 
 // Minibatch returns the global minibatch size (DP × per-replica).
@@ -260,6 +268,11 @@ type engine struct {
 
 func newEngine(cfg *Config) *engine {
 	net := cfg.Wafer.Network()
+	if cfg.Tracer == nil {
+		cfg.Tracer = net.Tracer()
+	} else if net.Tracer() == nil {
+		net.SetTracer(cfg.Tracer)
+	}
 	e := &engine{
 		cfg:   cfg,
 		sched: net.Scheduler(),
