@@ -1,6 +1,7 @@
 package fred
 
 import (
+	"flag"
 	"testing"
 
 	"github.com/wafernet/fred/internal/experiments"
@@ -16,12 +17,30 @@ import (
 // Run everything with:
 //
 //	go test -bench=. -benchmem
+//
+// Each driver fans its independent cells across a worker pool sized by
+// the -parallel flag (default GOMAXPROCS). The flag lives after -args
+// because the go tool claims a bare -parallel for -test.parallel:
+//
+//	go test -bench=BenchmarkFigure10 -args -parallel 4
+
+// parallelFlag sizes the experiment worker pool (0 = GOMAXPROCS,
+// 1 = sequential).
+var parallelFlag = flag.Int("parallel", 0,
+	"experiment worker-pool size (0 = GOMAXPROCS); pass after -args")
+
+// benchSession returns a fresh session honouring -parallel.
+func benchSession() *experiments.Session {
+	s := experiments.NewSession()
+	s.SetParallel(*parallelFlag)
+	return s
+}
 
 // BenchmarkFigure2 regenerates Figure 2: normalized compute vs comm of
 // Transformer-17B strategies on the baseline mesh.
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _ := experiments.Figure2()
+		rows, _ := benchSession().Figure2()
 		if len(rows) == 0 {
 			b.Fatal("no rows")
 		}
@@ -37,7 +56,7 @@ func BenchmarkFigure2(b *testing.B) {
 // BenchmarkFigure9 regenerates the communication microbenchmarks.
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cells, _ := experiments.Figure9()
+		cells, _ := benchSession().Figure9()
 		times := map[string]map[experiments.System]float64{}
 		for _, c := range cells {
 			if times[c.Phase] == nil {
@@ -62,7 +81,7 @@ func BenchmarkFigure9(b *testing.B) {
 // BenchmarkFigure10 regenerates the end-to-end training comparison.
 func BenchmarkFigure10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _ := experiments.Figure10(false)
+		rows, _ := benchSession().Figure10(false)
 		best := map[string]float64{}
 		for _, r := range rows {
 			if r.System == experiments.FredD {
@@ -80,7 +99,7 @@ func BenchmarkFigure10(b *testing.B) {
 // BenchmarkFigure10AllVariants includes Fred-A and Fred-B.
 func BenchmarkFigure10AllVariants(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _ := experiments.Figure10(true)
+		rows, _ := benchSession().Figure10(true)
 		if len(rows) != 4*5 {
 			b.Fatalf("expected 20 rows, got %d", len(rows))
 		}
@@ -90,7 +109,7 @@ func BenchmarkFigure10AllVariants(b *testing.B) {
 // BenchmarkFigure11a regenerates the Transformer-17B strategy sweep.
 func BenchmarkFigure11a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sum, _ := experiments.Figure11a()
+		sum, _ := benchSession().Figure11a()
 		// Paper: 1.63× average speedup, 4.22× exposed-comm improvement.
 		if sum.AvgSpeedup < 1.4 || sum.AvgExposedImprovement < 3.0 {
 			b.Fatalf("Figure 11(a) aggregates regressed: %+v", sum)
@@ -101,7 +120,7 @@ func BenchmarkFigure11a(b *testing.B) {
 // BenchmarkFigure11b regenerates the Transformer-1T strategy sweep.
 func BenchmarkFigure11b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sum, _ := experiments.Figure11b()
+		sum, _ := benchSession().Figure11b()
 		// Paper: 1.44× average speedup (ours is larger; see
 		// EXPERIMENTS.md), improvement everywhere.
 		if sum.AvgSpeedup < 1.3 {
@@ -118,7 +137,7 @@ func BenchmarkFigure11b(b *testing.B) {
 // BenchmarkMeshIOHotspot regenerates the Section 3.2.1 hotspot law.
 func BenchmarkMeshIOHotspot(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _ := experiments.MeshIOStudy()
+		rows, _ := benchSession().MeshIOStudy()
 		for _, r := range rows {
 			if r.W == r.H && r.Overlap != 2*r.W-1 {
 				b.Fatalf("(2N-1) law broken for %dx%d: %d", r.W, r.H, r.Overlap)
@@ -130,7 +149,7 @@ func BenchmarkMeshIOHotspot(b *testing.B) {
 // BenchmarkPlacementStudy regenerates the Figure 5 trade-off.
 func BenchmarkPlacementStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _ := experiments.PlacementStudy()
+		rows, _ := benchSession().PlacementStudy()
 		if len(rows) != 9 {
 			b.Fatalf("expected 9 rows, got %d", len(rows))
 		}
@@ -192,7 +211,7 @@ func BenchmarkTrainingIteration(b *testing.B) {
 // BenchmarkNonAlignedStudy regenerates the Figure 6 congestion study.
 func BenchmarkNonAlignedStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, _ := experiments.NonAlignedStudy()
+		res, _ := benchSession().NonAlignedStudy()
 		if res.MaxRingHop < 2 || res.DPConcurrentTime <= res.DPSoloTime {
 			b.Fatalf("Figure 6 shape regressed: %+v", res)
 		}
@@ -202,7 +221,7 @@ func BenchmarkNonAlignedStudy(b *testing.B) {
 // BenchmarkScalabilityStudy regenerates the wafer-size scaling study.
 func BenchmarkScalabilityStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _ := experiments.ScalabilityStudy()
+		rows, _ := benchSession().ScalabilityStudy()
 		if rows[len(rows)-1].Gain <= rows[0].Gain {
 			b.Fatal("scaling gain regressed")
 		}
@@ -212,7 +231,7 @@ func BenchmarkScalabilityStudy(b *testing.B) {
 // BenchmarkInferenceStudy regenerates the decode-latency study.
 func BenchmarkInferenceStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _ := experiments.InferenceStudy()
+		rows, _ := benchSession().InferenceStudy()
 		if len(rows) == 0 {
 			b.Fatal("no rows")
 		}
@@ -223,7 +242,7 @@ func BenchmarkInferenceStudy(b *testing.B) {
 // crossover.
 func BenchmarkCrossoverStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _ := experiments.CrossoverStudy()
+		rows, _ := benchSession().CrossoverStudy()
 		if len(rows) == 0 {
 			b.Fatal("no rows")
 		}
@@ -233,22 +252,22 @@ func BenchmarkCrossoverStudy(b *testing.B) {
 // BenchmarkAblations regenerates every design-choice ablation.
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if rows, _ := experiments.MiddleStageAblation(); rows[0].SuccessRate == 0 {
+		if rows, _ := benchSession().MiddleStageAblation(); rows[0].SuccessRate == 0 {
 			b.Fatal("middle-stage ablation regressed")
 		}
-		experiments.RingDirectionAblation()
-		experiments.GradBucketAblation()
-		experiments.BisectionSweep()
-		experiments.MultiWaferStudy()
-		experiments.PlacementSearchAblation()
-		experiments.ScheduleAblation()
+		benchSession().RingDirectionAblation()
+		benchSession().GradBucketAblation()
+		benchSession().BisectionSweep()
+		benchSession().MultiWaferStudy()
+		benchSession().PlacementSearchAblation()
+		benchSession().ScheduleAblation()
 	}
 }
 
 // BenchmarkEPStudy regenerates the beyond-3D-parallelism study.
 func BenchmarkEPStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _ := experiments.EPStudy()
+		rows, _ := benchSession().EPStudy()
 		for _, r := range rows {
 			if r.FredTime >= r.MeshTime {
 				b.Fatal("EP study regressed")
@@ -260,7 +279,7 @@ func BenchmarkEPStudy(b *testing.B) {
 // BenchmarkBatchSensitivity regenerates the minibatch sweep.
 func BenchmarkBatchSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _ := experiments.BatchSensitivity()
+		rows, _ := benchSession().BatchSensitivity()
 		if len(rows) == 0 {
 			b.Fatal("no rows")
 		}
@@ -270,7 +289,7 @@ func BenchmarkBatchSensitivity(b *testing.B) {
 // BenchmarkPacketValidation cross-validates the flow and flit models.
 func BenchmarkPacketValidation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _ := experiments.PacketValidation()
+		rows, _ := benchSession().PacketValidation()
 		for _, r := range rows {
 			d := r.FlowRatio - r.FlitRatio
 			if d < 0 {

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	fredsim <experiment> [-ab] [-csv] [-trace out.json] [-linkstats]
-//	        [-cpuprofile out.pprof]
+//	fredsim <experiment> [-ab] [-csv] [-parallel N] [-trace out.json]
+//	        [-linkstats] [-cpuprofile out.pprof]
 //
 // Experiments:
 //
@@ -25,6 +25,16 @@
 //	all        everything above
 //
 // With -csv, tables are emitted as CSV instead of aligned text.
+//
+// Parallelism:
+//
+//	-parallel N       fan independent figure/table cells across N
+//	                  workers (default 0 = GOMAXPROCS; 1 = sequential).
+//	                  Each cell is a self-contained simulation, and rows
+//	                  and tables merge back in paper order, so the
+//	                  output is byte-identical at every N. A -trace run
+//	                  is forced sequential: the trace file needs one
+//	                  continuous build sequence.
 //
 // Observability:
 //
@@ -61,12 +71,14 @@ func main() {
 	cmd := flag.Arg(0)
 	includeAB := false
 	csv := false
+	parallel := 0
 	tracePath := ""
 	linkStats := false
 	cpuProfile := ""
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	fs.BoolVar(&includeAB, "ab", false, "include Fred-A and Fred-B in fig10")
 	fs.BoolVar(&csv, "csv", false, "emit CSV instead of aligned tables")
+	fs.IntVar(&parallel, "parallel", 0, "worker-pool size for independent cells (0 = GOMAXPROCS, 1 = sequential)")
 	fs.StringVar(&tracePath, "trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	fs.BoolVar(&linkStats, "linkstats", false, "report top-10 link hotspots per training run")
 	fs.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile of the simulator to this file")
@@ -74,14 +86,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	session := experiments.NewSession()
+	session.SetParallel(parallel)
 	var rec *trace.Recorder
 	if tracePath != "" {
 		rec = trace.NewRecorder()
 		rec.SetProcessName("fredsim " + cmd)
-		experiments.SetTracer(rec)
+		session.SetTracer(rec)
 	}
 	if linkStats {
-		experiments.CollectLinkStats(true)
+		session.CollectLinkStats(true)
 	}
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
@@ -112,65 +126,65 @@ func main() {
 		case "fig1":
 			emit(experiments.Figure1(parallelism.Strategy{MP: 4, DP: 3, PP: 2}))
 		case "fig2":
-			_, tbl := experiments.Figure2()
+			_, tbl := session.Figure2()
 			emit(tbl)
 		case "fig9":
-			_, tbl := experiments.Figure9()
+			_, tbl := session.Figure9()
 			emit(tbl)
 		case "fig10":
-			_, tbl := experiments.Figure10(includeAB)
+			_, tbl := session.Figure10(includeAB)
 			emit(tbl)
 		case "fig11a":
-			_, tbl := experiments.Figure11a()
+			_, tbl := session.Figure11a()
 			emit(tbl)
 		case "fig11b":
-			_, tbl := experiments.Figure11b()
+			_, tbl := session.Figure11b()
 			emit(tbl)
 		case "meshio":
-			_, tbl := experiments.MeshIOStudy()
+			_, tbl := session.MeshIOStudy()
 			emit(tbl)
 		case "placement":
-			_, tbl := experiments.PlacementStudy()
+			_, tbl := session.PlacementStudy()
 			emit(tbl)
 		case "nonaligned":
-			_, tbl := experiments.NonAlignedStudy()
+			_, tbl := session.NonAlignedStudy()
 			emit(tbl)
 		case "scaling":
-			_, tbl := experiments.ScalabilityStudy()
+			_, tbl := session.ScalabilityStudy()
 			emit(tbl)
 		case "inference":
-			_, tbl := experiments.InferenceStudy()
+			_, tbl := session.InferenceStudy()
 			emit(tbl)
 		case "summary":
-			_, tbl := experiments.Summary()
+			_, tbl := session.Summary()
 			emit(tbl)
 		case "heat":
-			_, tbl := experiments.TrainingHeatmap(parallelism.Strategy{MP: 3, DP: 3, PP: 2})
+			_, tbl := session.TrainingHeatmap(parallelism.Strategy{MP: 3, DP: 3, PP: 2})
 			emit(tbl)
 		case "packets":
-			_, tbl := experiments.PacketValidation()
+			_, tbl := session.PacketValidation()
 			emit(tbl)
 		case "batch":
-			_, tbl := experiments.BatchSensitivity()
+			_, tbl := session.BatchSensitivity()
 			emit(tbl)
 		case "profile":
-			emit(experiments.CommProfile(experiments.Baseline), experiments.CommProfile(experiments.FredD))
+			emit(session.CommProfile(experiments.Baseline), session.CommProfile(experiments.FredD))
 		case "crossover":
-			_, tbl := experiments.CrossoverStudy()
+			_, tbl := session.CrossoverStudy()
 			emit(tbl)
 		case "ep":
-			_, tbl := experiments.EPStudy()
+			_, tbl := session.EPStudy()
 			emit(tbl)
 		case "hw":
 			emit(experiments.HWTables()...)
 		case "ablations":
-			_, t1 := experiments.MiddleStageAblation()
-			_, t2 := experiments.RingDirectionAblation()
-			_, t3 := experiments.GradBucketAblation()
-			_, t4 := experiments.BisectionSweep()
-			_, t5 := experiments.MultiWaferStudy()
-			_, t6 := experiments.PlacementSearchAblation()
-			_, t7 := experiments.ScheduleAblation()
+			_, t1 := session.MiddleStageAblation()
+			_, t2 := session.RingDirectionAblation()
+			_, t3 := session.GradBucketAblation()
+			_, t4 := session.BisectionSweep()
+			_, t5 := session.MultiWaferStudy()
+			_, t6 := session.PlacementSearchAblation()
+			_, t7 := session.ScheduleAblation()
 			emit(t1, t2, t3, t4, t5, t6, t7)
 		default:
 			return false
@@ -194,7 +208,7 @@ func main() {
 	}
 
 	if linkStats {
-		emit(experiments.LinkStatsTables()...)
+		emit(session.LinkStatsTables()...)
 	}
 	if rec != nil {
 		if err := rec.WriteFile(tracePath); err != nil {
@@ -207,8 +221,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fredsim <experiment> [-ab] [-csv] [-trace out.json] [-linkstats]
-               [-cpuprofile out.pprof]
+	fmt.Fprintln(os.Stderr, `usage: fredsim <experiment> [-ab] [-csv] [-parallel N] [-trace out.json]
+               [-linkstats] [-cpuprofile out.pprof]
 
 experiments: fig1 fig2 fig9 fig10 fig11a fig11b meshio placement nonaligned
              scaling inference crossover batch profile packets heat hw

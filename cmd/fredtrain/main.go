@@ -80,7 +80,19 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	wafer := experiments.Build(experiments.System(*system))
+	// The session wires the observability hooks (tracer namespace,
+	// scheduler counter, link telemetry) into the build.
+	session := experiments.NewSession()
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder()
+		rec.SetProcessName(fmt.Sprintf("fredtrain %s %s", m.Name, *system))
+		session.SetTracer(rec)
+	}
+	if *linkStats {
+		session.CollectLinkStats(true)
+	}
+	wafer := session.Build(experiments.System(*system))
 	cfg := training.Config{
 		Wafer:               wafer,
 		Model:               m,
@@ -89,15 +101,8 @@ func main() {
 		GradBuckets:         *buckets,
 		Schedule:            sched,
 	}
-	var rec *trace.Recorder
-	if *tracePath != "" {
-		rec = trace.NewRecorder()
-		rec.SetProcessName(fmt.Sprintf("fredtrain %s %s", m.Name, *system))
+	if rec != nil {
 		cfg.Tracer = rec
-		trace.AttachSchedulerCounter(wafer.Network().Scheduler(), rec, "scheduler", 4096)
-	}
-	if *linkStats {
-		wafer.Network().EnableLinkTelemetry()
 	}
 	r, err := training.Simulate(cfg)
 	if err != nil {

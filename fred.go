@@ -233,7 +233,21 @@ var (
 	DefaultMultiWaferConfig = multiwafer.DefaultConfig
 )
 
-// Experiment drivers regenerating the paper's evaluation artifacts.
+// ExperimentSession owns the observability hooks and worker pool of an
+// experiment run: drivers called on a session fan their independent
+// figure/table cells across the pool (SetParallel; default GOMAXPROCS)
+// and merge rows and tables back in deterministic paper order, so the
+// output is byte-identical at every pool size. The package-level
+// driver functions below are conveniences over a fresh default
+// session.
+type ExperimentSession = experiments.Session
+
+// NewExperimentSession returns a session with observability off and
+// the worker pool sized to GOMAXPROCS.
+var NewExperimentSession = experiments.NewSession
+
+// Experiment drivers regenerating the paper's evaluation artifacts on
+// a fresh default session each call.
 var (
 	Figure2        = experiments.Figure2
 	Figure9        = experiments.Figure9

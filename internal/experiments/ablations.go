@@ -30,7 +30,10 @@ type MiddleStageRow struct {
 // m = 2, 3, 4, under FRED's consecutive placement versus a random
 // placement. The paper picks m = 3 + consecutive placement because
 // that combination never conflicts.
-func MiddleStageAblation() ([]MiddleStageRow, *report.Table) {
+//
+// The trials draw from one seeded RNG stream shared across all cells,
+// so this driver is inherently sequential and does not fan out.
+func (s *Session) MiddleStageAblation() ([]MiddleStageRow, *report.Table) {
 	const ports = 12
 	const trials = 300
 	rng := rand.New(rand.NewSource(42))
@@ -92,6 +95,11 @@ func MiddleStageAblation() ([]MiddleStageRow, *report.Table) {
 	return rows, tbl
 }
 
+// MiddleStageAblation runs the ablation on a fresh default session.
+func MiddleStageAblation() ([]MiddleStageRow, *report.Table) {
+	return NewSession().MiddleStageAblation()
+}
+
 // RingDirectionRow compares uni- and bidirectional rings.
 type RingDirectionRow struct {
 	Group                         int
@@ -100,37 +108,42 @@ type RingDirectionRow struct {
 
 // RingDirectionAblation measures the "two concurrent chunks in reverse
 // direction" optimization of Section 7.2 on the baseline mesh: the
-// bidirectional ring should be ~2× faster for wafer-wide groups.
-func RingDirectionAblation() ([]RingDirectionRow, *report.Table) {
+// bidirectional ring should be ~2× faster for wafer-wide groups. One
+// cell per group size.
+func (s *Session) RingDirectionAblation() ([]RingDirectionRow, *report.Table) {
+	sizes := []int{4, 10, 20}
+	rows := make([]RingDirectionRow, len(sizes))
+	s.forEach(len(sizes), func(i int, cs *Session) {
+		n := sizes[i]
+		group := make([]int, n)
+		for j := range group {
+			group[j] = j
+		}
+		ringTime := func(bidirectional bool) float64 {
+			m := cs.Build(Baseline).(*topology.Mesh)
+			order := collective.SnakeOrder(m, group)
+			if n == m.NPUCount() {
+				order = collective.HamiltonianRing(m)
+			}
+			return collective.RunToCompletion(m.Network(),
+				collective.RingAllReduce(m, order, 1e9, bidirectional))
+		}
+		rows[i] = RingDirectionRow{Group: n, Unidirectional: ringTime(false), Bidirectional: ringTime(true)}
+	})
+
 	tbl := &report.Table{
 		Title:  "Ablation: ring direction on baseline mesh (1 GB all-reduce)",
 		Header: []string{"group", "unidirectional", "bidirectional", "gain"},
 	}
-	var rows []RingDirectionRow
-	for _, n := range []int{4, 10, 20} {
-		group := make([]int, n)
-		for i := range group {
-			group[i] = i
-		}
-		mkMesh := func() *topology.Mesh {
-			return Build(Baseline).(*topology.Mesh)
-		}
-		m1 := mkMesh()
-		order := collective.SnakeOrder(m1, group)
-		if n == m1.NPUCount() {
-			order = collective.HamiltonianRing(m1)
-		}
-		uni := collective.RunToCompletion(m1.Network(), collective.RingAllReduce(m1, order, 1e9, false))
-		m2 := mkMesh()
-		order2 := collective.SnakeOrder(m2, group)
-		if n == m2.NPUCount() {
-			order2 = collective.HamiltonianRing(m2)
-		}
-		bi := collective.RunToCompletion(m2.Network(), collective.RingAllReduce(m2, order2, 1e9, true))
-		rows = append(rows, RingDirectionRow{Group: n, Unidirectional: uni, Bidirectional: bi})
-		tbl.AddRow(n, uni, bi, report.FormatX(uni/bi))
+	for _, r := range rows {
+		tbl.AddRow(r.Group, r.Unidirectional, r.Bidirectional, report.FormatX(r.Unidirectional/r.Bidirectional))
 	}
 	return rows, tbl
+}
+
+// RingDirectionAblation runs the ablation on a fresh default session.
+func RingDirectionAblation() ([]RingDirectionRow, *report.Table) {
+	return NewSession().RingDirectionAblation()
 }
 
 // GradBucketRow is one point of the DP-overlap ablation.
@@ -143,26 +156,35 @@ type GradBucketRow struct {
 // GradBucketAblation sweeps the DP gradient-bucket count on ResNet-152
 // (baseline mesh): more buckets overlap DP synchronisation with the
 // backward tail, shrinking exposed DP below the paper's unbucketed
-// model.
-func GradBucketAblation() ([]GradBucketRow, *report.Table) {
-	tbl := &report.Table{
-		Title:  "Ablation: DP gradient buckets, ResNet-152 on baseline mesh",
-		Header: []string{"buckets", "exposed DP", "total"},
-	}
-	m := workload.ResNet152()
-	var rows []GradBucketRow
-	for _, nb := range []int{1, 2, 4, 8, 16} {
+// model. One cell per bucket count.
+func (s *Session) GradBucketAblation() ([]GradBucketRow, *report.Table) {
+	buckets := []int{1, 2, 4, 8, 16}
+	rows := make([]GradBucketRow, len(buckets))
+	s.forEach(len(buckets), func(i int, cs *Session) {
+		nb := buckets[i]
 		r := training.MustSimulate(training.Config{
-			Wafer:               Build(Baseline),
-			Model:               m,
+			Wafer:               cs.Build(Baseline),
+			Model:               workload.ResNet152(),
 			Strategy:            parallelism.Strategy{MP: 1, DP: 20, PP: 1},
 			MinibatchPerReplica: 16,
 			GradBuckets:         nb,
 		})
-		rows = append(rows, GradBucketRow{Buckets: nb, ExposedDP: r.Breakdown.DP, Total: r.Total})
-		tbl.AddRow(nb, r.Breakdown.DP, r.Total)
+		rows[i] = GradBucketRow{Buckets: nb, ExposedDP: r.Breakdown.DP, Total: r.Total}
+	})
+
+	tbl := &report.Table{
+		Title:  "Ablation: DP gradient buckets, ResNet-152 on baseline mesh",
+		Header: []string{"buckets", "exposed DP", "total"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Buckets, r.ExposedDP, r.Total)
 	}
 	return rows, tbl
+}
+
+// GradBucketAblation runs the ablation on a fresh default session.
+func GradBucketAblation() ([]GradBucketRow, *report.Table) {
+	return NewSession().GradBucketAblation()
 }
 
 // BisectionRow is one point of the L1-L2 bandwidth sweep.
@@ -175,29 +197,36 @@ type BisectionRow struct {
 // BisectionSweep varies the FRED fabric's L1↔L2 bandwidth between the
 // Fred-A/B point (1.5 TB/s) and the Fred-C/D point (12 TB/s) and
 // reports Transformer-17B iteration time with in-network collectives —
-// showing where extra bisection stops paying.
-func BisectionSweep() ([]BisectionRow, *report.Table) {
+// showing where extra bisection stops paying. One cell per bandwidth
+// point.
+func (s *Session) BisectionSweep() ([]BisectionRow, *report.Table) {
+	bws := []float64{1.5e12, 3e12, 6e12, 12e12, 24e12}
+	rows := make([]BisectionRow, len(bws))
+	s.forEach(len(bws), func(i int, cs *Session) {
+		cfg := topology.FredVariantConfig(topology.FredD)
+		cfg.L1L2BW = bws[i]
+		w := topology.NewFredFabric(netOf(), cfg)
+		r := training.MustSimulate(training.Config{
+			Wafer:               w,
+			Model:               workload.Transformer17B(),
+			Strategy:            parallelism.Strategy{MP: 3, DP: 3, PP: 2},
+			MinibatchPerReplica: 16,
+		})
+		rows[i] = BisectionRow{L1L2BW: bws[i], Bisection: w.BisectionBW(), Total: r.Total}
+	})
+
 	tbl := &report.Table{
 		Title:  "Ablation: L1-L2 bandwidth sweep (Transformer-17B, in-network)",
 		Header: []string{"L1-L2 BW", "bisection", "iteration"},
 	}
-	m := workload.Transformer17B()
-	var rows []BisectionRow
-	for _, bw := range []float64{1.5e12, 3e12, 6e12, 12e12, 24e12} {
-		cfg := topology.FredVariantConfig(topology.FredD)
-		cfg.L1L2BW = bw
-		w := topology.NewFredFabric(netOf(), cfg)
-		r := training.MustSimulate(training.Config{
-			Wafer:               w,
-			Model:               m,
-			Strategy:            parallelism.Strategy{MP: 3, DP: 3, PP: 2},
-			MinibatchPerReplica: 16,
-		})
-		rows = append(rows, BisectionRow{L1L2BW: bw, Bisection: w.BisectionBW(), Total: r.Total})
-		tbl.AddRow(report.FormatBW(bw), report.FormatBW(w.BisectionBW()), r.Total)
+	for _, r := range rows {
+		tbl.AddRow(report.FormatBW(r.L1L2BW), report.FormatBW(r.Bisection), r.Total)
 	}
 	return rows, tbl
 }
+
+// BisectionSweep runs the sweep on a fresh default session.
+func BisectionSweep() ([]BisectionRow, *report.Table) { return NewSession().BisectionSweep() }
 
 // MultiWaferRow compares global all-reduce designs.
 type MultiWaferRow struct {
@@ -208,26 +237,33 @@ type MultiWaferRow struct {
 
 // MultiWaferStudy runs the Section 8.3 inter-wafer discussion: the
 // hierarchical boundary-parallel global all-reduce versus the naive
-// single-leader exchange, over wafer counts.
-func MultiWaferStudy() ([]MultiWaferRow, *report.Table) {
-	tbl := &report.Table{
-		Title:  "Extension: multi-wafer global all-reduce (10 GB, Fred-D wafers, 18 x 128 GB/s ports)",
-		Header: []string{"wafers", "hierarchical", "naive leader", "gain"},
-	}
-	var rows []MultiWaferRow
-	for _, wn := range []int{2, 4, 8} {
+// single-leader exchange, over wafer counts. One cell per wafer count.
+func (s *Session) MultiWaferStudy() ([]MultiWaferRow, *report.Table) {
+	counts := []int{2, 4, 8}
+	rows := make([]MultiWaferRow, len(counts))
+	s.forEach(len(counts), func(i int, cs *Session) {
 		cfg := multiwafer.DefaultConfig()
-		cfg.Wafers = wn
+		cfg.Wafers = counts[i]
 		sh := multiwafer.New(cfg)
 		hier := sh.Run(sh.GlobalAllReduce(10e9))
 		sn := multiwafer.New(cfg)
 		naive := sn.Run(sn.NaiveAllReduce(10e9))
-		rows = append(rows, MultiWaferRow{Wafers: wn, Hierarchical: hier, Naive: naive})
-		tbl.AddRow(wn, hier, naive, report.FormatX(naive/hier))
+		rows[i] = MultiWaferRow{Wafers: counts[i], Hierarchical: hier, Naive: naive}
+	})
+
+	tbl := &report.Table{
+		Title:  "Extension: multi-wafer global all-reduce (10 GB, Fred-D wafers, 18 x 128 GB/s ports)",
+		Header: []string{"wafers", "hierarchical", "naive leader", "gain"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Wafers, r.Hierarchical, r.Naive, report.FormatX(r.Naive/r.Hierarchical))
 	}
 	tbl.AddNote("the hierarchical form spreads the inter-wafer exchange over all boundary NPUs (Section 8.3)")
 	return rows, tbl
 }
+
+// MultiWaferStudy runs the study on a fresh default session.
+func MultiWaferStudy() ([]MultiWaferRow, *report.Table) { return NewSession().MultiWaferStudy() }
 
 // netOf builds a fresh network on its own scheduler.
 func netOf() *netsim.Network { return netsim.New(sim.NewScheduler()) }
@@ -245,49 +281,53 @@ type PlacementSearchRow struct {
 // the congestion cost, compared with the default MP-first placement,
 // for an aligned and a non-aligned strategy. Search softens mesh
 // congestion but cannot remove the Section 3.2.2 trade-off; FRED's
-// consecutive placement needs no search at all.
-func PlacementSearchAblation() ([]PlacementSearchRow, *report.Table) {
+// consecutive placement needs no search at all. One cell per strategy
+// (the search itself is seeded and deterministic per cell).
+func (s *Session) PlacementSearchAblation() ([]PlacementSearchRow, *report.Table) {
+	strategies := []parallelism.Strategy{
+		{MP: 2, DP: 5, PP: 2},
+		{MP: 5, DP: 3, PP: 1}, // non-aligned (Figure 6)
+	}
+	rows := make([]PlacementSearchRow, 2*len(strategies))
+	s.forEach(len(strategies), func(i int, cs *Session) {
+		strat := strategies[i]
+		measure := func(name string, p placement.Placement) PlacementSearchRow {
+			w := cs.Build(Baseline)
+			cost := placement.Cost(w, strat, p)
+			comm := collective.NewComm(w)
+			var scheds []collective.Schedule
+			for _, g := range strat.MPGroups() {
+				if len(g) > 1 {
+					scheds = append(scheds, comm.AllReduce(p.NPUs(g), 1e9))
+				}
+			}
+			for _, g := range strat.DPGroups() {
+				if len(g) > 1 {
+					scheds = append(scheds, comm.AllReduce(p.NPUs(g), 1e9))
+				}
+			}
+			max := maxOf(collective.RunConcurrently(w.Network(), scheds))
+			return PlacementSearchRow{Strategy: strat, Placement: name, Cost: cost, Time: max}
+		}
+		rows[2*i] = measure("default", placement.MeshDefault(strat))
+		opt, _ := placement.Optimize(cs.Build(Baseline), strat, 6, 24, 11)
+		rows[2*i+1] = measure("searched", opt)
+	})
+
 	tbl := &report.Table{
 		Title:  "Ablation: intelligent device placement on the baseline mesh",
 		Header: []string{"strategy", "placement", "cost", "concurrent comm (1GB)"},
 	}
-	var rows []PlacementSearchRow
-	measure := func(s parallelism.Strategy, name string, p placement.Placement) {
-		w := Build(Baseline)
-		cost := placement.Cost(w, s, p)
-		comm := collective.NewComm(w)
-		var scheds []collective.Schedule
-		for _, g := range s.MPGroups() {
-			if len(g) > 1 {
-				scheds = append(scheds, comm.AllReduce(p.NPUs(g), 1e9))
-			}
-		}
-		for _, g := range s.DPGroups() {
-			if len(g) > 1 {
-				scheds = append(scheds, comm.AllReduce(p.NPUs(g), 1e9))
-			}
-		}
-		times := collective.RunConcurrently(w.Network(), scheds)
-		max := 0.0
-		for _, t := range times {
-			if t > max {
-				max = t
-			}
-		}
-		row := PlacementSearchRow{Strategy: s, Placement: name, Cost: cost, Time: max}
-		rows = append(rows, row)
-		tbl.AddRow(s.String(), name, fmt.Sprintf("%.0f", cost), max)
-	}
-	for _, s := range []parallelism.Strategy{
-		{MP: 2, DP: 5, PP: 2},
-		{MP: 5, DP: 3, PP: 1}, // non-aligned (Figure 6)
-	} {
-		measure(s, "default", placement.MeshDefault(s))
-		opt, _ := placement.Optimize(Build(Baseline), s, 6, 24, 11)
-		measure(s, "searched", opt)
+	for _, row := range rows {
+		tbl.AddRow(row.Strategy.String(), row.Placement, fmt.Sprintf("%.0f", row.Cost), row.Time)
 	}
 	tbl.AddNote("search narrows mesh congestion but the Section 3.2.2 trade-off remains; FRED needs no search")
 	return rows, tbl
+}
+
+// PlacementSearchAblation runs the ablation on a fresh default session.
+func PlacementSearchAblation() ([]PlacementSearchRow, *report.Table) {
+	return NewSession().PlacementSearchAblation()
 }
 
 // ScheduleRow compares pipeline schedules.
@@ -301,32 +341,38 @@ type ScheduleRow struct {
 // ScheduleAblation contrasts the paper's GPipe pipeline with 1F1B on
 // Fred-D: the schedules move identical work, but 1F1B's bounded
 // in-flight microbatches can duck under the HBM limit where GPipe's
-// flush forces activation recomputation.
-func ScheduleAblation() ([]ScheduleRow, *report.Table) {
+// flush forces activation recomputation. One cell per
+// (strategy, schedule) pair.
+func (s *Session) ScheduleAblation() ([]ScheduleRow, *report.Table) {
+	strategies := []parallelism.Strategy{
+		{MP: 3, DP: 3, PP: 2},
+		{MP: 1, DP: 2, PP: 4},
+		{MP: 1, DP: 2, PP: 10},
+	}
+	schedules := []training.PipelineSchedule{training.ScheduleGPipe, training.Schedule1F1B}
+	rows := make([]ScheduleRow, len(strategies)*len(schedules))
+	s.forEach(len(rows), func(i int, cs *Session) {
+		strat, sched := strategies[i/len(schedules)], schedules[i%len(schedules)]
+		r := training.MustSimulate(training.Config{
+			Wafer:               cs.Build(FredD),
+			Model:               workload.Transformer17B(),
+			Strategy:            strat,
+			MinibatchPerReplica: 40,
+			Schedule:            sched,
+		})
+		rows[i] = ScheduleRow{Strategy: strat, Schedule: sched.String(), Total: r.Total, Recompute: r.ActivationRecompute}
+	})
+
 	tbl := &report.Table{
 		Title:  "Ablation: pipeline schedule (GPipe vs 1F1B), Transformer-17B on Fred-D, batch 40/replica",
 		Header: []string{"strategy", "schedule", "iteration", "recompute"},
 	}
-	m := workload.Transformer17B()
-	var rows []ScheduleRow
-	for _, s := range []parallelism.Strategy{
-		{MP: 3, DP: 3, PP: 2},
-		{MP: 1, DP: 2, PP: 4},
-		{MP: 1, DP: 2, PP: 10},
-	} {
-		for _, sched := range []training.PipelineSchedule{training.ScheduleGPipe, training.Schedule1F1B} {
-			r := training.MustSimulate(training.Config{
-				Wafer:               Build(FredD),
-				Model:               m,
-				Strategy:            s,
-				MinibatchPerReplica: 40,
-				Schedule:            sched,
-			})
-			row := ScheduleRow{Strategy: s, Schedule: sched.String(), Total: r.Total, Recompute: r.ActivationRecompute}
-			rows = append(rows, row)
-			tbl.AddRow(s.String(), sched.String(), r.Total, fmt.Sprint(r.ActivationRecompute))
-		}
+	for _, row := range rows {
+		tbl.AddRow(row.Strategy.String(), row.Schedule, row.Total, fmt.Sprint(row.Recompute))
 	}
 	tbl.AddNote("1F1B keeps at most PP-stage microbatches resident, avoiding GPipe's recompute at deep PP")
 	return rows, tbl
 }
+
+// ScheduleAblation runs the ablation on a fresh default session.
+func ScheduleAblation() ([]ScheduleRow, *report.Table) { return NewSession().ScheduleAblation() }

@@ -24,56 +24,64 @@ type CrossoverRow struct {
 // all-reduce on the baseline mesh with the binomial tree (O(log N)
 // latency terms, redundant bandwidth) versus the bidirectional ring
 // (BW-optimal, O(N) serial steps), against FRED's in-network execution
-// which dominates both at every size.
-func CrossoverStudy() ([]CrossoverRow, *report.Table) {
-	tbl := &report.Table{
-		Title:  "Section 2.2: endpoint algorithm crossover — wafer-wide all-reduce vs message size",
-		Header: []string{"wafer", "size", "mesh ring", "mesh tree", "Fred in-network", "best endpoint"},
-	}
-	var rows []CrossoverRow
-	for _, dims := range [][2]int{{5, 4}, {8, 8}} {
+// which dominates both at every size. One cell per (wafer, size) pair.
+func (s *Session) CrossoverStudy() ([]CrossoverRow, *report.Table) {
+	wafers := [][2]int{{5, 4}, {8, 8}}
+	sizes := []float64{4 << 10, 64 << 10, 1 << 20, 16 << 20, 256 << 20}
+
+	rows := make([]CrossoverRow, len(wafers)*len(sizes))
+	s.forEach(len(rows), func(i int, cs *Session) {
+		dims, bytes := wafers[i/len(sizes)], sizes[i%len(sizes)]
 		n := dims[0] * dims[1]
 		group := make([]int, n)
-		for i := range group {
-			group[i] = i
+		for j := range group {
+			group[j] = j
 		}
 		newMesh := func() *topology.Mesh {
 			cfg := topology.DefaultMeshConfig()
 			cfg.W, cfg.H = dims[0], dims[1]
 			return topology.NewMesh(netsim.New(sim.NewScheduler()), cfg)
 		}
-		for _, bytes := range []float64{4 << 10, 64 << 10, 1 << 20, 16 << 20, 256 << 20} {
-			row := CrossoverRow{Wafer: n, Bytes: bytes}
-			{
-				m := newMesh()
-				row.RingTime = collective.RunToCompletion(m.Network(),
-					collective.RingAllReduce(m, collective.HamiltonianRing(m), bytes, true))
-			}
-			{
-				m := newMesh()
-				row.TreeTime = collective.RunToCompletion(m.Network(),
-					collective.TreeAllReduce(m, group, bytes))
-			}
-			{
-				cfg := topology.TreeConfig{
-					NPUs: n, FanIn: []int{4, (n + 3) / 4}, LevelBW: []float64{3e12, 12e12},
-					IOCs: 18, IOCBW: 128e9, LinkLatency: 20e-9, InNetwork: true,
-				}
-				f := topology.NewFredTree(netsim.New(sim.NewScheduler()), cfg)
-				row.FredTime = collective.RunToCompletion(f.Network(),
-					NewCommFor(f).AllReduce(group, bytes))
-			}
-			rows = append(rows, row)
-			best := "ring"
-			if row.TreeTime < row.RingTime {
-				best = "tree"
-			}
-			tbl.AddRow(fmt.Sprintf("%d NPUs", n), formatBytes(bytes), row.RingTime, row.TreeTime, row.FredTime, best)
+		row := CrossoverRow{Wafer: n, Bytes: bytes}
+		{
+			m := newMesh()
+			row.RingTime = collective.RunToCompletion(m.Network(),
+				collective.RingAllReduce(m, collective.HamiltonianRing(m), bytes, true))
 		}
+		{
+			m := newMesh()
+			row.TreeTime = collective.RunToCompletion(m.Network(),
+				collective.TreeAllReduce(m, group, bytes))
+		}
+		{
+			cfg := topology.TreeConfig{
+				NPUs: n, FanIn: []int{4, (n + 3) / 4}, LevelBW: []float64{3e12, 12e12},
+				IOCs: 18, IOCBW: 128e9, LinkLatency: 20e-9, InNetwork: true,
+			}
+			f := topology.NewFredTree(netsim.New(sim.NewScheduler()), cfg)
+			row.FredTime = collective.RunToCompletion(f.Network(),
+				NewCommFor(f).AllReduce(group, bytes))
+		}
+		rows[i] = row
+	})
+
+	tbl := &report.Table{
+		Title:  "Section 2.2: endpoint algorithm crossover — wafer-wide all-reduce vs message size",
+		Header: []string{"wafer", "size", "mesh ring", "mesh tree", "Fred in-network", "best endpoint"},
+	}
+	for _, row := range rows {
+		best := "ring"
+		if row.TreeTime < row.RingTime {
+			best = "tree"
+		}
+		tbl.AddRow(fmt.Sprintf("%d NPUs", row.Wafer), formatBytes(row.Bytes), row.RingTime, row.TreeTime, row.FredTime, best)
 	}
 	tbl.AddNote("the tree's O(log N) rounds beat the ring's O(N) fill at small sizes on larger wafers; in-network FRED dominates both (Section 2.2)")
 	return rows, tbl
 }
+
+// CrossoverStudy runs the study on a fresh default session.
+func CrossoverStudy() ([]CrossoverRow, *report.Table) { return NewSession().CrossoverStudy() }
 
 // NewCommFor is a tiny alias keeping the study readable.
 func NewCommFor(w topology.Wafer) *collective.Comm { return collective.NewComm(w) }

@@ -2,6 +2,14 @@
 // FRED paper's evaluation (Section 8), regenerating the same rows and
 // series on fresh simulator instances. cmd/fredsim exposes them on the
 // command line and bench_test.go wraps them as benchmarks.
+//
+// Drivers are methods on a Session, which owns the observability hooks
+// and a worker pool: independent figure/table cells (each a fully
+// self-contained scheduler+network+training simulation) fan out across
+// the pool and merge back in deterministic paper order, so the emitted
+// tables are byte-identical at every pool size. The package-level
+// driver functions are conveniences over a fresh default session
+// (observability off, GOMAXPROCS workers).
 package experiments
 
 import (
@@ -31,36 +39,28 @@ const (
 func Systems() []System { return []System{Baseline, FredA, FredB, FredC, FredD} }
 
 // Build instantiates a fresh wafer (own scheduler and network) for a
-// system, applying any observability hooks installed with SetTracer /
-// CollectLinkStats.
-func Build(s System) topology.Wafer {
+// system, applying the session's observability hooks (SetTracer /
+// CollectLinkStats). It is safe to call from concurrent cells.
+func (s *Session) Build(sys System) topology.Wafer {
 	net := netsim.New(sim.NewScheduler())
-	observeNetwork(net, s)
-	switch s {
+	s.observeNetwork(net, sys)
+	switch sys {
 	case Baseline:
 		return topology.NewMesh(net, topology.DefaultMeshConfig())
 	case FredA, FredB, FredC, FredD:
-		return topology.NewFredVariant(net, topology.FredVariant(s))
+		return topology.NewFredVariant(net, topology.FredVariant(sys))
 	}
-	panic(fmt.Sprintf("experiments: unknown system %q", s))
+	panic(fmt.Sprintf("experiments: unknown system %q", sys))
 }
 
+// Build instantiates a fresh unobserved wafer for a system — the
+// package-level convenience over a throwaway session.
+func Build(s System) topology.Wafer { return NewSession().Build(s) }
+
 // RunTraining simulates one iteration of the model under the strategy
-// on a fresh instance of the system.
+// on a fresh unobserved instance of the system.
 func RunTraining(s System, m *workload.Model, strat parallelism.Strategy, perReplica int) *training.Report {
-	w := Build(s)
-	r := training.MustSimulate(training.Config{
-		Wafer:               w,
-		Model:               m,
-		Strategy:            strat,
-		MinibatchPerReplica: perReplica,
-		Tracer:              obsTracer,
-	})
-	if obsLinkStats {
-		title := fmt.Sprintf("Link hotspots: %s, %v on %s", m.Name, strat, s)
-		obsLinkTables = append(obsLinkTables, w.Network().HotspotTable(title, 10))
-	}
-	return r
+	return NewSession().RunTraining(s, m, strat, perReplica)
 }
 
 // defaultStrategy returns the Table 6 strategy of a model.

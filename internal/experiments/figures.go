@@ -26,30 +26,38 @@ type Fig2Row struct {
 
 // Figure2 regenerates Figure 2: per-strategy normalized compute vs
 // communication of Transformer-17B on the 20-NPU 2D mesh, minibatch
-// DP×40 (Section 7.3).
-func Figure2() ([]Fig2Row, *report.Table) {
-	m := workload.Transformer17B()
+// DP×40 (Section 7.3). One cell per strategy.
+func (s *Session) Figure2() ([]Fig2Row, *report.Table) {
+	strategies := transformerStrategies()
+	reports := make([]*training.Report, len(strategies))
+	s.forEach(len(strategies), func(i int, cs *Session) {
+		reports[i] = cs.RunTraining(Baseline, workload.Transformer17B(), strategies[i], 40)
+	})
+
 	var rows []Fig2Row
 	tbl := &report.Table{
 		Title:  "Figure 2: Transformer-17B on baseline 2D mesh — normalized overheads",
 		Header: []string{"strategy", "compute/sample", "comm/sample", "total/sample"},
 	}
-	for _, s := range transformerStrategies() {
-		r := RunTraining(Baseline, m, s, 40)
+	for i, strat := range strategies {
+		r := reports[i]
 		n := float64(r.Config.Minibatch())
 		row := Fig2Row{
-			Strategy:  s,
+			Strategy:  strat,
 			Compute:   r.Breakdown.Compute / n,
 			Comm:      r.Breakdown.TotalExposed() / n,
 			Total:     r.PerSample,
 			Breakdown: r.Breakdown,
 		}
 		rows = append(rows, row)
-		tbl.AddRow(s.String(), row.Compute, row.Comm, row.Total)
+		tbl.AddRow(strat.String(), row.Compute, row.Comm, row.Total)
 	}
 	tbl.AddNote("comm overhead can invert compute-efficiency ordering (Section 1)")
 	return rows, tbl
 }
+
+// Figure2 regenerates Figure 2 on a fresh default session.
+func Figure2() ([]Fig2Row, *report.Table) { return NewSession().Figure2() }
 
 // Fig9Cell is one bar of Figure 9: the time of one communication phase
 // on one system.
@@ -63,14 +71,9 @@ type Fig9Cell struct {
 // for the two Transformer-17B strategies: a wafer-wide MP all-reduce
 // (MP(20)-DP(1)-PP(1)) and the MP/DP/PP phases of MP(2)-DP(5)-PP(2).
 // Collective payloads are 1 GB per operation so the bars compare
-// bandwidth, as in the paper.
-func Figure9() ([]Fig9Cell, *report.Table) {
+// bandwidth, as in the paper. One cell per (phase, system) pair.
+func (s *Session) Figure9() ([]Fig9Cell, *report.Table) {
 	const d = 1e9
-	var cells []Fig9Cell
-	tbl := &report.Table{
-		Title:  "Figure 9: communication microbenchmarks (1 GB collectives)",
-		Header: []string{"phase", "Baseline", "Fred-A", "Fred-B", "Fred-C", "Fred-D"},
-	}
 	npus := func(n int) []int {
 		out := make([]int, n)
 		for i := range out {
@@ -78,48 +81,73 @@ func Figure9() ([]Fig9Cell, *report.Table) {
 		}
 		return out
 	}
-	measure := func(phase string, run func(c *collective.Comm, w topology.Wafer) float64) {
-		row := []any{phase}
-		for _, sys := range Systems() {
-			w := Build(sys)
-			t := run(collective.NewComm(w), w)
-			cells = append(cells, Fig9Cell{System: sys, Phase: phase, Time: t})
+	phases := []struct {
+		name string
+		run  func(c *collective.Comm, w topology.Wafer) float64
+	}{
+		// MP(20)-DP(1)-PP(1): one wafer-wide all-reduce.
+		{"MP(20) all-reduce", func(c *collective.Comm, w topology.Wafer) float64 {
+			return collective.RunToCompletion(w.Network(), c.AllReduce(npus(20), d))
+		}},
+		// MP(2)-DP(5)-PP(2) phases under the default placements.
+		{"MP(2) all-reduce", func(c *collective.Comm, w topology.Wafer) float64 {
+			return collective.RunToCompletion(w.Network(), c.AllReduce([]int{0, 1}, d))
+		}},
+		{"DP(5) x4 all-reduce", func(c *collective.Comm, w topology.Wafer) float64 {
+			var scheds []collective.Schedule
+			for r := 0; r < 4; r++ {
+				g := make([]int, 5)
+				for i := range g {
+					g[i] = r + 4*i
+				}
+				scheds = append(scheds, c.AllReduce(g, d))
+			}
+			return maxOf(collective.RunConcurrently(w.Network(), scheds))
+		}},
+		{"PP multicast", func(c *collective.Comm, w topology.Wafer) float64 {
+			return collective.RunToCompletion(w.Network(), c.Multicast(0, []int{2, 3}, d))
+		}},
+	}
+
+	systems := Systems()
+	times := make([]float64, len(phases)*len(systems))
+	s.forEach(len(times), func(i int, cs *Session) {
+		phase, sys := phases[i/len(systems)], systems[i%len(systems)]
+		w := cs.Build(sys)
+		times[i] = phase.run(collective.NewComm(w), w)
+	})
+
+	var cells []Fig9Cell
+	tbl := &report.Table{
+		Title:  "Figure 9: communication microbenchmarks (1 GB collectives)",
+		Header: []string{"phase", "Baseline", "Fred-A", "Fred-B", "Fred-C", "Fred-D"},
+	}
+	for pi, phase := range phases {
+		row := []any{phase.name}
+		for si, sys := range systems {
+			t := times[pi*len(systems)+si]
+			cells = append(cells, Fig9Cell{System: sys, Phase: phase.name, Time: t})
 			row = append(row, t)
 		}
 		tbl.AddRow(row...)
 	}
-
-	// MP(20)-DP(1)-PP(1): one wafer-wide all-reduce.
-	measure("MP(20) all-reduce", func(c *collective.Comm, w topology.Wafer) float64 {
-		return collective.RunToCompletion(w.Network(), c.AllReduce(npus(20), d))
-	})
-	// MP(2)-DP(5)-PP(2) phases under the default placements.
-	measure("MP(2) all-reduce", func(c *collective.Comm, w topology.Wafer) float64 {
-		return collective.RunToCompletion(w.Network(), c.AllReduce([]int{0, 1}, d))
-	})
-	measure("DP(5) x4 all-reduce", func(c *collective.Comm, w topology.Wafer) float64 {
-		var scheds []collective.Schedule
-		for r := 0; r < 4; r++ {
-			g := make([]int, 5)
-			for i := range g {
-				g[i] = r + 4*i
-			}
-			scheds = append(scheds, c.AllReduce(g, d))
-		}
-		times := collective.RunConcurrently(w.Network(), scheds)
-		max := 0.0
-		for _, t := range times {
-			if t > max {
-				max = t
-			}
-		}
-		return max
-	})
-	measure("PP multicast", func(c *collective.Comm, w topology.Wafer) float64 {
-		return collective.RunToCompletion(w.Network(), c.Multicast(0, []int{2, 3}, d))
-	})
 	tbl.AddNote("expected effective NPU bandwidth, wafer-wide: base 1.5, Fred-A ~1.8, Fred-B 1.5(half traffic), Fred-C 3, Fred-D 3 TB/s (Section 8.1)")
 	return cells, tbl
+}
+
+// Figure9 regenerates Figure 9 on a fresh default session.
+func Figure9() ([]Fig9Cell, *report.Table) { return NewSession().Figure9() }
+
+// maxOf returns the maximum of a non-empty completion-time slice (zero
+// when empty).
+func maxOf(times []float64) float64 {
+	max := 0.0
+	for _, t := range times {
+		if t > max {
+			max = t
+		}
+	}
+	return max
 }
 
 // Fig10Row is one bar of Figure 10.
@@ -134,20 +162,30 @@ type Fig10Row struct {
 // Figure 10: each Table 6 workload under its Table 6 strategy on
 // Baseline, Fred-C and Fred-D (plus Fred-A/Fred-B, which the paper
 // omits for space but reports as lying between Baseline and Fred-C).
-func Figure10(includeAB bool) ([]Fig10Row, *report.Table) {
+// One cell per (workload, system) pair.
+func (s *Session) Figure10(includeAB bool) ([]Fig10Row, *report.Table) {
 	systems := []System{Baseline, FredC, FredD}
 	if includeAB {
 		systems = []System{Baseline, FredA, FredB, FredC, FredD}
 	}
+	models := workload.Models()
+	reports := make([]*training.Report, len(models)*len(systems))
+	s.forEach(len(reports), func(i int, cs *Session) {
+		// Each cell constructs its own model so no state whatsoever is
+		// shared between concurrent simulations.
+		m := workload.Models()[i/len(systems)]
+		reports[i] = cs.RunTraining(systems[i%len(systems)], m, defaultStrategy(m), 16)
+	})
+
 	var rows []Fig10Row
 	tbl := &report.Table{
 		Title:  "Figure 10: end-to-end training time per iteration (minibatch DP x 16)",
 		Header: []string{"workload", "system", "total", "compute", "load", "MP", "DP", "PP", "stream", "speedup"},
 	}
-	for _, m := range workload.Models() {
+	for mi, m := range models {
 		var base float64
-		for _, sys := range systems {
-			r := RunTraining(sys, m, defaultStrategy(m), 16)
+		for si, sys := range systems {
+			r := reports[mi*len(systems)+si]
 			if sys == Baseline {
 				base = r.Total
 			}
@@ -161,6 +199,9 @@ func Figure10(includeAB bool) ([]Fig10Row, *report.Table) {
 	tbl.AddNote("paper speedups (Fred-C, Fred-D): ResNet-152 1.41/1.76, T-17B 1.75/1.87, GPT-3 1.34/1.34, T-1T 1.4/1.4")
 	return rows, tbl
 }
+
+// Figure10 regenerates Figure 10 on a fresh default session.
+func Figure10(includeAB bool) ([]Fig10Row, *report.Table) { return NewSession().Figure10(includeAB) }
 
 // Fig11Row is one strategy of Figure 11: baseline vs Fred-D.
 type Fig11Row struct {
@@ -186,7 +227,16 @@ type Fig11Summary struct {
 	MostComputeEfficient parallelism.Strategy
 }
 
-func figure11(m *workload.Model, strategies []parallelism.Strategy, perReplica int, title string) (*Fig11Summary, *report.Table) {
+// figure11 runs one Figure 11 sweep, one cell per strategy (each cell
+// simulates the strategy on both the baseline and Fred-D).
+func (s *Session) figure11(mk func() *workload.Model, strategies []parallelism.Strategy, perReplica int, title string) (*Fig11Summary, *report.Table) {
+	type pair struct{ base, fredD *training.Report }
+	results := make([]pair, len(strategies))
+	s.forEach(len(strategies), func(i int, cs *Session) {
+		results[i].base = cs.RunTraining(Baseline, mk(), strategies[i], perReplica)
+		results[i].fredD = cs.RunTraining(FredD, mk(), strategies[i], perReplica)
+	})
+
 	sum := &Fig11Summary{}
 	tbl := &report.Table{
 		Title:  title,
@@ -194,12 +244,11 @@ func figure11(m *workload.Model, strategies []parallelism.Strategy, perReplica i
 	}
 	var baseTotal, fredTotal, baseExp, fredExp float64
 	bestBase, bestFred, bestCompute := 1e300, 1e300, 1e300
-	for _, s := range strategies {
-		base := RunTraining(Baseline, m, s, perReplica)
-		fd := RunTraining(FredD, m, s, perReplica)
+	for i, strat := range strategies {
+		base, fd := results[i].base, results[i].fredD
 		n := float64(base.Config.Minibatch())
 		row := Fig11Row{
-			Strategy: s,
+			Strategy: strat,
 			Base:     base,
 			FredD:    fd,
 			Speedup:  base.PerSample / fd.PerSample,
@@ -215,17 +264,17 @@ func figure11(m *workload.Model, strategies []parallelism.Strategy, perReplica i
 		fredExp += fe
 		if base.PerSample < bestBase {
 			bestBase = base.PerSample
-			sum.BestBase = s
+			sum.BestBase = strat
 		}
 		if fd.PerSample < bestFred {
 			bestFred = fd.PerSample
-			sum.BestFredD = s
+			sum.BestFredD = strat
 		}
 		if c := base.Breakdown.Compute / n; c < bestCompute {
 			bestCompute = c
-			sum.MostComputeEfficient = s
+			sum.MostComputeEfficient = strat
 		}
-		tbl.AddRow(s.String(), base.PerSample, fd.PerSample, report.FormatX(row.Speedup),
+		tbl.AddRow(strat.String(), base.PerSample, fd.PerSample, report.FormatX(row.Speedup),
 			report.FormatSeconds(be), report.FormatSeconds(fe))
 	}
 	sum.AvgSpeedup = baseTotal / fredTotal
@@ -244,18 +293,24 @@ func figure11(m *workload.Model, strategies []parallelism.Strategy, perReplica i
 // Figure11a regenerates Figure 11(a): Transformer-17B across
 // parallelization strategies, baseline vs Fred-D, minibatch DP×40.
 // Paper: 4.22× exposed-comm improvement, 1.63× average speedup.
-func Figure11a() (*Fig11Summary, *report.Table) {
-	return figure11(workload.Transformer17B(), transformerStrategies(), 40,
+func (s *Session) Figure11a() (*Fig11Summary, *report.Table) {
+	return s.figure11(workload.Transformer17B, transformerStrategies(), 40,
 		"Figure 11(a): Transformer-17B, baseline vs Fred-D across strategies")
 }
+
+// Figure11a regenerates Figure 11(a) on a fresh default session.
+func Figure11a() (*Fig11Summary, *report.Table) { return NewSession().Figure11a() }
 
 // Figure11b regenerates Figure 11(b): Transformer-1T across
 // strategies. Paper: 3.92× exposed-comm improvement, 1.44× average
 // speedup.
-func Figure11b() (*Fig11Summary, *report.Table) {
-	return figure11(workload.Transformer1T(), t1tStrategies(), 16,
+func (s *Session) Figure11b() (*Fig11Summary, *report.Table) {
+	return s.figure11(workload.Transformer1T, t1tStrategies(), 16,
 		"Figure 11(b): Transformer-1T, baseline vs Fred-D across strategies")
 }
+
+// Figure11b regenerates Figure 11(b) on a fresh default session.
+func Figure11b() (*Fig11Summary, *report.Table) { return NewSession().Figure11b() }
 
 // MeshIORow is one row of the Section 3.2.1 hotspot study.
 type MeshIORow struct {
@@ -269,13 +324,12 @@ type MeshIORow struct {
 // MeshIOStudy regenerates the Figure 4 / Section 3.2.1 analysis: the
 // I/O broadcast hotspot law (2N−1)·P and the resulting line-rate
 // utilization, both analytically and measured on the flow simulator.
-func MeshIOStudy() ([]MeshIORow, *report.Table) {
-	tbl := &report.Table{
-		Title:  "Section 3.2.1: mesh I/O broadcast hotspot ((2N-1)P law)",
-		Header: []string{"mesh", "channels", "max overlap", "required link BW", "utilization", "simulated"},
-	}
-	var rows []MeshIORow
-	for _, dims := range [][2]int{{4, 4}, {5, 4}, {5, 5}, {6, 6}, {8, 8}} {
+// One cell per mesh size.
+func (s *Session) MeshIOStudy() ([]MeshIORow, *report.Table) {
+	sizes := [][2]int{{4, 4}, {5, 4}, {5, 5}, {6, 6}, {8, 8}}
+	rows := make([]MeshIORow, len(sizes))
+	s.forEach(len(sizes), func(i int, cs *Session) {
+		dims := sizes[i]
 		cfg := topology.DefaultMeshConfig()
 		cfg.W, cfg.H = dims[0], dims[1]
 		mesh := topology.NewMesh(netsim.New(sim.NewScheduler()), cfg)
@@ -286,7 +340,14 @@ func MeshIOStudy() ([]MeshIORow, *report.Table) {
 		}
 		row.RequiredBW = float64(row.Overlap) * cfg.IOCBW
 		row.Simulated = simulateStreamUtil(mesh)
-		rows = append(rows, row)
+		rows[i] = row
+	})
+
+	tbl := &report.Table{
+		Title:  "Section 3.2.1: mesh I/O broadcast hotspot ((2N-1)P law)",
+		Header: []string{"mesh", "channels", "max overlap", "required link BW", "utilization", "simulated"},
+	}
+	for _, row := range rows {
 		tbl.AddRow(fmt.Sprintf("%dx%d", row.W, row.H), 2*(row.W+row.H), row.Overlap,
 			report.FormatBW(row.RequiredBW), report.FormatFraction(row.Utilization),
 			report.FormatFraction(row.Simulated))
@@ -294,6 +355,9 @@ func MeshIOStudy() ([]MeshIORow, *report.Table) {
 	tbl.AddNote("paper: 5-wide mesh needs (2*5-1)*128 GB/s = 1152 GB/s > 750 GB/s links -> 0.65x line rate")
 	return rows, tbl
 }
+
+// MeshIOStudy regenerates the hotspot study on a fresh default session.
+func MeshIOStudy() ([]MeshIORow, *report.Table) { return NewSession().MeshIOStudy() }
 
 // simulateStreamUtil measures the slowest concurrent broadcast stream
 // through the flow simulator, as a fraction of channel line rate.
@@ -335,36 +399,50 @@ type BatchRow struct {
 // batch-independent) DP gradient sync and grow the MP volume linearly
 // with compute, so FRED's advantage declines with batch — the
 // flip side of the paper's observation that communication overhead
-// gates small-batch scaling.
-func BatchSensitivity() ([]BatchRow, *report.Table) {
+// gates small-batch scaling. One cell per batch size.
+func (s *Session) BatchSensitivity() ([]BatchRow, *report.Table) {
+	strat := parallelism.Strategy{MP: 3, DP: 3, PP: 2}
+	batches := []int{8, 16, 40, 80}
+	rows := make([]BatchRow, len(batches))
+	s.forEach(len(batches), func(i int, cs *Session) {
+		b := batches[i]
+		base := cs.RunTraining(Baseline, workload.Transformer17B(), strat, b)
+		fd := cs.RunTraining(FredD, workload.Transformer17B(), strat, b)
+		rows[i] = BatchRow{PerReplica: b, Base: base, FredD: fd, Speedup: base.Total / fd.Total}
+	})
+
 	tbl := &report.Table{
 		Title:  "Extension: minibatch sensitivity, Transformer-17B MP(3)-DP(3)-PP(2)",
 		Header: []string{"samples/replica", "baseline", "Fred-D", "speedup", "base exposed"},
 	}
-	m := workload.Transformer17B()
-	s := parallelism.Strategy{MP: 3, DP: 3, PP: 2}
-	var rows []BatchRow
-	for _, b := range []int{8, 16, 40, 80} {
-		base := RunTraining(Baseline, m, s, b)
-		fd := RunTraining(FredD, m, s, b)
-		row := BatchRow{PerReplica: b, Base: base, FredD: fd, Speedup: base.Total / fd.Total}
-		rows = append(rows, row)
-		tbl.AddRow(b, base.Total, fd.Total, report.FormatX(row.Speedup),
-			report.FormatSeconds(base.Breakdown.TotalExposed()))
+	for _, row := range rows {
+		tbl.AddRow(row.PerReplica, row.Base.Total, row.FredD.Total, report.FormatX(row.Speedup),
+			report.FormatSeconds(row.Base.Breakdown.TotalExposed()))
 	}
 	return rows, tbl
 }
 
+// BatchSensitivity regenerates the minibatch sweep on a fresh default
+// session.
+func BatchSensitivity() ([]BatchRow, *report.Table) { return NewSession().BatchSensitivity() }
+
 // CommProfile runs one iteration of each Table 6 workload on a system
 // and reports the per-class communication statistics — operation
-// counts, injected traffic and busy time.
-func CommProfile(sys System) *report.Table {
+// counts, injected traffic and busy time. One cell per workload.
+func (s *Session) CommProfile(sys System) *report.Table {
+	models := workload.Models()
+	reports := make([]*training.Report, len(models))
+	s.forEach(len(models), func(i int, cs *Session) {
+		m := workload.Models()[i]
+		reports[i] = cs.RunTraining(sys, m, defaultStrategy(m), 16)
+	})
+
 	tbl := &report.Table{
 		Title:  fmt.Sprintf("Communication profile on %s (one iteration, minibatch DP x 16)", sys),
 		Header: []string{"workload", "class", "ops", "injected", "busy"},
 	}
-	for _, m := range workload.Models() {
-		r := RunTraining(sys, m, defaultStrategy(m), 16)
+	for i, m := range models {
+		r := reports[i]
 		for class := training.Class(0); class < training.ClassLoad; class++ {
 			st, ok := r.Comm[class]
 			if !ok || st.Ops == 0 {
@@ -376,6 +454,10 @@ func CommProfile(sys System) *report.Table {
 	}
 	return tbl
 }
+
+// CommProfile profiles a system's communication on a fresh default
+// session.
+func CommProfile(sys System) *report.Table { return NewSession().CommProfile(sys) }
 
 // Figure1 renders the 3D-parallelism worker/group structure of the
 // paper's running example (Figure 1): an MP(4)-DP(3)-PP(2) strategy's

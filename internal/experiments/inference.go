@@ -20,48 +20,56 @@ type InferenceRow struct {
 // MP all-reduces on a batch×hidden activation — a latency-sensitive,
 // small-message regime, unlike training's bandwidth-bound collectives.
 // Per-token latency = layers × (per-layer compute + 2 × all-reduce),
-// with the all-reduce measured on the fabric.
-func InferenceStudy() ([]InferenceRow, *report.Table) {
+// with the all-reduce measured on the fabric. One cell per
+// (MP size, system) pair; the baseline speedup column is derived at
+// assembly.
+func (s *Session) InferenceStudy() ([]InferenceRow, *report.Table) {
 	const batch = 8
 	m := workload.Transformer17B()
 	layer := m.Layers[0]
 	hidden := layer.ActivationBytes / (1024 * workload.FP16Bytes) // s·h·2 / (s·2)
 	actBytes := batch * hidden * workload.FP16Bytes
 
-	tbl := &report.Table{
-		Title:  "Future work: Transformer-17B auto-regressive decode (batch 8), per-token latency",
-		Header: []string{"MP", "system", "token latency", "tokens/s", "speedup"},
-	}
-	var rows []InferenceRow
-	for _, mp := range []int{2, 5, 10, 20} {
+	mps := []int{2, 5, 10, 20}
+	systems := []System{Baseline, FredD}
+	rows := make([]InferenceRow, len(mps)*len(systems))
+	s.forEach(len(rows), func(i int, cs *Session) {
+		mp, sys := mps[i/len(systems)], systems[i%len(systems)]
 		group := make([]int, mp)
-		for i := range group {
-			group[i] = i
+		for j := range group {
+			group[j] = j
 		}
 		// Per-layer, per-token compute on one MP shard: the 24h² GEMMs
 		// plus attention over a 1024-token context.
 		perLayerFLOPs := (24*hidden*hidden + 4*1024*hidden) * batch / float64(mp)
 		compute := perLayerFLOPs / (m.EffectiveTFLOPs * 1e12)
 
-		var base float64
-		for _, sys := range []System{Baseline, FredD} {
-			w := Build(sys)
-			comm := collective.NewComm(w)
-			ar := collective.RunToCompletion(w.Network(), comm.AllReduce(group, actBytes))
-			latency := float64(len(m.Layers)) * (compute + 2*ar)
-			row := InferenceRow{
-				MP:           mp,
-				System:       sys,
-				TokenLatency: latency,
-				TokensPerSec: batch / latency,
-			}
-			if sys == Baseline {
-				base = latency
-			}
-			rows = append(rows, row)
-			tbl.AddRow(mp, string(sys), latency, int(row.TokensPerSec), report.FormatX(base/latency))
+		w := cs.Build(sys)
+		comm := collective.NewComm(w)
+		ar := collective.RunToCompletion(w.Network(), comm.AllReduce(group, actBytes))
+		latency := float64(len(m.Layers)) * (compute + 2*ar)
+		rows[i] = InferenceRow{
+			MP:           mp,
+			System:       sys,
+			TokenLatency: latency,
+			TokensPerSec: batch / latency,
 		}
+	})
+
+	tbl := &report.Table{
+		Title:  "Future work: Transformer-17B auto-regressive decode (batch 8), per-token latency",
+		Header: []string{"MP", "system", "token latency", "tokens/s", "speedup"},
+	}
+	var base float64
+	for _, row := range rows {
+		if row.System == Baseline {
+			base = row.TokenLatency
+		}
+		tbl.AddRow(row.MP, string(row.System), row.TokenLatency, int(row.TokensPerSec), report.FormatX(base/row.TokenLatency))
 	}
 	tbl.AddNote("decode all-reduces are tiny (%.0f KB): hop latency and ring step count dominate, so FRED's single in-switch pass wins most at large MP", actBytes/1024)
 	return rows, tbl
 }
+
+// InferenceStudy runs the study on a fresh default session.
+func InferenceStudy() ([]InferenceRow, *report.Table) { return NewSession().InferenceStudy() }

@@ -37,9 +37,12 @@ type NonAlignedResult struct {
 // NonAlignedStudy reproduces Section 3.2.3: non-aligned parallelization
 // dimensions create stretched logical rings and inter-group congestion
 // on the mesh, while FRED serves any group shape at port bandwidth.
-func NonAlignedStudy() (*NonAlignedResult, *report.Table) {
-	s := parallelism.Strategy{MP: 5, DP: 3, PP: 1}
-	p := placement.MeshDefault(s)
+// The three simulations (mesh solo, mesh concurrent + heatmap, Fred-D
+// concurrent) are independent cells; the ring-stretch metric is pure
+// graph geometry and computed inline.
+func (s *Session) NonAlignedStudy() (*NonAlignedResult, *report.Table) {
+	strat := parallelism.Strategy{MP: 5, DP: 3, PP: 1}
+	p := placement.MeshDefault(strat)
 	res := &NonAlignedResult{}
 
 	cfg := topology.DefaultMeshConfig()
@@ -50,7 +53,7 @@ func NonAlignedStudy() (*NonAlignedResult, *report.Table) {
 
 	// Ring stretch within MP groups.
 	m := newMesh()
-	for _, g := range s.MPGroups() {
+	for _, g := range strat.MPGroups() {
 		order := collective.SnakeOrder(m, p.NPUs(g))
 		for i := range order {
 			d := m.Distance(order[i], order[(i+1)%len(order)])
@@ -63,32 +66,26 @@ func NonAlignedStudy() (*NonAlignedResult, *report.Table) {
 	dpSchedules := func(w topology.Wafer) []collective.Schedule {
 		comm := collective.NewComm(w)
 		var out []collective.Schedule
-		for _, g := range s.DPGroups() {
+		for _, g := range strat.DPGroups() {
 			out = append(out, comm.AllReduce(p.NPUs(g), 1e9))
 		}
 		return out
 	}
 
-	// Solo vs concurrent on the mesh.
-	mSolo := newMesh()
-	res.DPSoloTime = collective.RunToCompletion(mSolo.Network(), dpSchedules(mSolo)[0])
-	mConc := newMesh()
-	times := collective.RunConcurrently(mConc.Network(), dpSchedules(mConc))
-	for _, t := range times {
-		if t > res.DPConcurrentTime {
-			res.DPConcurrentTime = t
+	s.forEach(3, func(i int, cs *Session) {
+		switch i {
+		case 0: // solo on the mesh
+			mSolo := newMesh()
+			res.DPSoloTime = collective.RunToCompletion(mSolo.Network(), dpSchedules(mSolo)[0])
+		case 1: // concurrent on the mesh, plus the heatmap
+			mConc := newMesh()
+			res.DPConcurrentTime = maxOf(collective.RunConcurrently(mConc.Network(), dpSchedules(mConc)))
+			res.Heatmap = meshLoadHeatmap(mConc, dpSchedules(mConc))
+		case 2: // Fred-D: 16 of its 20 NPUs used
+			fd := cs.Build(FredD)
+			res.FredTime = maxOf(collective.RunConcurrently(fd.Network(), dpSchedules(fd)))
 		}
-	}
-	res.Heatmap = meshLoadHeatmap(mConc, dpSchedules(mConc))
-
-	// Fred-D: 16 of its 20 NPUs used.
-	fd := Build(FredD)
-	ftimes := collective.RunConcurrently(fd.Network(), dpSchedules(fd))
-	for _, t := range ftimes {
-		if t > res.FredTime {
-			res.FredTime = t
-		}
-	}
+	})
 
 	tbl := &report.Table{
 		Title:  "Figure 6: non-aligned MP(5)-DP(3)-PP(1) on a 4x4 mesh",
@@ -102,6 +99,9 @@ func NonAlignedStudy() (*NonAlignedResult, *report.Table) {
 	tbl.AddNote("link-load heatmap of the concurrent DP phase (units of 1 GB per directed link):\n%s", res.Heatmap)
 	return res, tbl
 }
+
+// NonAlignedStudy runs the study on a fresh default session.
+func NonAlignedStudy() (*NonAlignedResult, *report.Table) { return NewSession().NonAlignedStudy() }
 
 // meshLoadHeatmap renders per-directed-link traffic of a set of
 // schedules as an ASCII mesh: horizontal loads between columns,
@@ -141,14 +141,16 @@ func meshLoadHeatmap(m *topology.Mesh, schedules []collective.Schedule) string {
 // TrainingHeatmap runs one Transformer-17B iteration on the baseline
 // mesh and renders the per-link traffic the iteration actually put on
 // the wafer (from the simulator's link byte counters) — the Figure
-// 6(b)-style view of a full training step.
-func TrainingHeatmap(s parallelism.Strategy) (string, *report.Table) {
-	w := Build(Baseline).(*topology.Mesh)
+// 6(b)-style view of a full training step. A single simulation: no
+// fan-out.
+func (s *Session) TrainingHeatmap(strat parallelism.Strategy) (string, *report.Table) {
+	w := s.Build(Baseline).(*topology.Mesh)
 	r := training.MustSimulate(training.Config{
 		Wafer:               w,
 		Model:               workload.Transformer17B(),
-		Strategy:            s,
+		Strategy:            strat,
 		MinibatchPerReplica: 16,
+		Tracer:              s.tracer,
 	})
 	net := w.Network()
 	width, height := w.Dims()
@@ -173,10 +175,15 @@ func TrainingHeatmap(s parallelism.Strategy) (string, *report.Table) {
 		}
 	}
 	tbl := &report.Table{
-		Title:  fmt.Sprintf("Link traffic (GB, both directions) of one %v Transformer-17B iteration on the baseline mesh", s),
+		Title:  fmt.Sprintf("Link traffic (GB, both directions) of one %v Transformer-17B iteration on the baseline mesh", strat),
 		Header: []string{"iteration", "exposed comm"},
 	}
 	tbl.AddRow(r.Total, report.FormatSeconds(r.Breakdown.TotalExposed()))
 	tbl.AddNote("heatmap:\n%s", b.String())
 	return b.String(), tbl
+}
+
+// TrainingHeatmap runs the heatmap study on a fresh default session.
+func TrainingHeatmap(strat parallelism.Strategy) (string, *report.Table) {
+	return NewSession().TrainingHeatmap(strat)
 }

@@ -9,18 +9,16 @@ import (
 	"github.com/wafernet/fred/internal/trace"
 )
 
-// recordFigure10 runs the full Figure 10 sweep with a fresh tracer and
-// link-stats collection attached, returning the exported trace bytes.
+// recordFigure10 runs the full Figure 10 sweep on a session with a
+// fresh tracer and link-stats collection attached, returning the
+// exported trace bytes.
 func recordFigure10(t *testing.T) []byte {
 	t.Helper()
 	rec := trace.NewRecorder()
-	SetTracer(rec)
-	CollectLinkStats(true)
-	defer func() {
-		SetTracer(nil)
-		CollectLinkStats(false)
-	}()
-	Figure10(false)
+	s := NewSession()
+	s.SetTracer(rec)
+	s.CollectLinkStats(true)
+	s.Figure10(false)
 	var buf bytes.Buffer
 	if err := rec.WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
@@ -30,7 +28,9 @@ func recordFigure10(t *testing.T) []byte {
 
 // The headline observability guarantee: tracing must not perturb the
 // simulation and the simulation must not perturb the trace — two runs
-// of the same experiment export byte-identical files.
+// of the same experiment export byte-identical files. (A session with
+// a tracer attached runs sequentially by contract, so this also pins
+// the tracer→sequential rule.)
 func TestFigure10TraceDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full Figure 10 sweep twice")
@@ -93,13 +93,10 @@ func TestTracingDoesNotPerturbResults(t *testing.T) {
 	base, _ := Figure2()
 
 	rec := trace.NewRecorder()
-	SetTracer(rec)
-	CollectLinkStats(true)
-	defer func() {
-		SetTracer(nil)
-		CollectLinkStats(false)
-	}()
-	traced, _ := Figure2()
+	s := NewSession()
+	s.SetTracer(rec)
+	s.CollectLinkStats(true)
+	traced, _ := s.Figure2()
 
 	if len(base) != len(traced) {
 		t.Fatalf("row counts differ: %d vs %d", len(base), len(traced))
@@ -113,7 +110,7 @@ func TestTracingDoesNotPerturbResults(t *testing.T) {
 	if rec.Spans() == 0 {
 		t.Fatal("traced run recorded no spans")
 	}
-	if tables := LinkStatsTables(); len(tables) == 0 {
+	if tables := s.LinkStatsTables(); len(tables) == 0 {
 		t.Fatal("link-stats collection produced no hotspot tables")
 	}
 }

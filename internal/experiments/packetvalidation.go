@@ -23,12 +23,9 @@ type PacketValidationRow struct {
 // against the cycle-accurate wormhole router: for each traffic
 // pattern, both models report the slowdown of the contended case over
 // an uncontended run. Agreement of these ratios justifies using the
-// (much faster) flow model for the end-to-end studies.
-func PacketValidation() ([]PacketValidationRow, *report.Table) {
-	tbl := &report.Table{
-		Title:  "Validation: flow-level vs flit-level mesh (contended/solo slowdown)",
-		Header: []string{"pattern", "flow model", "flit model"},
-	}
+// (much faster) flow model for the end-to-end studies. One cell per
+// traffic pattern (each cell runs its four simulations privately).
+func (s *Session) PacketValidation() ([]PacketValidationRow, *report.Table) {
 	const flits = 4096 // per message (2 MB: bandwidth-dominated)
 	bytes := float64(flits) * 512
 
@@ -40,14 +37,7 @@ func PacketValidation() ([]PacketValidationRow, *report.Table) {
 		for _, p := range pairs {
 			scheds = append(scheds, comm.P2P(p[0], p[1], bytes))
 		}
-		times := collective.RunConcurrently(net, scheds)
-		max := 0.0
-		for _, t := range times {
-			if t > max {
-				max = t
-			}
-		}
-		return max
+		return maxOf(collective.RunConcurrently(net, scheds))
 	}
 	flitTime := func(pairs [][2]int) float64 {
 		m := meshrouter.New(meshrouter.DefaultConfig())
@@ -74,16 +64,28 @@ func PacketValidation() ([]PacketValidationRow, *report.Table) {
 		{"disjoint rows (control)", [][2]int{{0, 4}}, [][2]int{{0, 4}, {15, 19}}},
 		{"column merge", [][2]int{{0, 10}}, [][2]int{{0, 10}, {5, 10}}},
 	}
-	var rows []PacketValidationRow
-	for _, c := range cases {
-		row := PacketValidationRow{
+	rows := make([]PacketValidationRow, len(cases))
+	s.forEach(len(cases), func(i int, cs *Session) {
+		c := cases[i]
+		rows[i] = PacketValidationRow{
 			Pattern:   c.name,
 			FlowRatio: flowTime(c.heavy) / flowTime(c.solo),
 			FlitRatio: flitTime(c.heavy) / flitTime(c.solo),
 		}
-		rows = append(rows, row)
-		tbl.AddRow(c.name, fmt.Sprintf("%.2fx", row.FlowRatio), fmt.Sprintf("%.2fx", row.FlitRatio))
+	})
+
+	tbl := &report.Table{
+		Title:  "Validation: flow-level vs flit-level mesh (contended/solo slowdown)",
+		Header: []string{"pattern", "flow model", "flit model"},
+	}
+	for _, row := range rows {
+		tbl.AddRow(row.Pattern, fmt.Sprintf("%.2fx", row.FlowRatio), fmt.Sprintf("%.2fx", row.FlitRatio))
 	}
 	tbl.AddNote("the wormhole NoC reproduces the flow model's contention ratios, grounding the abstraction")
 	return rows, tbl
+}
+
+// PacketValidation runs the validation on a fresh default session.
+func PacketValidation() ([]PacketValidationRow, *report.Table) {
+	return NewSession().PacketValidation()
 }

@@ -29,13 +29,12 @@ type ScalabilityRow struct {
 // "enabling further scalability of the wafer-scale systems"
 // (Section 3.2.1). Each size runs four concurrent DP all-reduces
 // (MP(4)-DP(N/4) with the default placements) of 1 GB on both fabrics.
-func ScalabilityStudy() ([]ScalabilityRow, *report.Table) {
-	tbl := &report.Table{
-		Title:  "Extension: scaling the wafer — concurrent DP(4 groups) all-reduce and I/O utilization vs size",
-		Header: []string{"NPUs", "mesh", "mesh DP", "Fred DP", "levels", "gain", "mesh I/O util", "Fred I/O util"},
-	}
-	var rows []ScalabilityRow
-	for _, dims := range [][2]int{{5, 4}, {6, 6}, {8, 8}} {
+// One cell per wafer size.
+func (s *Session) ScalabilityStudy() ([]ScalabilityRow, *report.Table) {
+	sizes := [][2]int{{5, 4}, {6, 6}, {8, 8}}
+	rows := make([]ScalabilityRow, len(sizes))
+	s.forEach(len(sizes), func(i int, cs *Session) {
+		dims := sizes[i]
 		n := dims[0] * dims[1]
 		row := ScalabilityRow{NPUs: n, MeshDims: dims}
 
@@ -52,14 +51,7 @@ func ScalabilityStudy() ([]ScalabilityRow, *report.Table) {
 			for _, g := range groups {
 				scheds = append(scheds, comm.AllReduce(g, 1e9))
 			}
-			times := collective.RunConcurrently(w.Network(), scheds)
-			max := 0.0
-			for _, t := range times {
-				if t > max {
-					max = t
-				}
-			}
-			return max
+			return maxOf(collective.RunConcurrently(w.Network(), scheds))
 		}
 
 		mcfg := topology.DefaultMeshConfig()
@@ -91,11 +83,21 @@ func ScalabilityStudy() ([]ScalabilityRow, *report.Table) {
 		row.FredIOUtil = fabric.StreamUtilization()
 
 		row.Gain = row.MeshTime / row.FredTime
-		rows = append(rows, row)
-		tbl.AddRow(n, fmt.Sprintf("%dx%d", dims[0], dims[1]), row.MeshTime, row.FredTime,
+		rows[i] = row
+	})
+
+	tbl := &report.Table{
+		Title:  "Extension: scaling the wafer — concurrent DP(4 groups) all-reduce and I/O utilization vs size",
+		Header: []string{"NPUs", "mesh", "mesh DP", "Fred DP", "levels", "gain", "mesh I/O util", "Fred I/O util"},
+	}
+	for _, row := range rows {
+		tbl.AddRow(row.NPUs, fmt.Sprintf("%dx%d", row.MeshDims[0], row.MeshDims[1]), row.MeshTime, row.FredTime,
 			row.FredLevels, report.FormatX(row.Gain), report.FormatFraction(row.MeshIOUtil),
 			report.FormatFraction(row.FredIOUtil))
 	}
 	tbl.AddNote("mesh I/O needs (2N-1)x128 GB/s hotspot links (O(N)); FRED leaves scale by replication")
 	return rows, tbl
 }
+
+// ScalabilityStudy runs the study on a fresh default session.
+func ScalabilityStudy() ([]ScalabilityRow, *report.Table) { return NewSession().ScalabilityStudy() }

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/wafernet/fred/internal/netsim"
+	"github.com/wafernet/fred/internal/parallelism"
+	"github.com/wafernet/fred/internal/report"
+	"github.com/wafernet/fred/internal/trace"
+	"github.com/wafernet/fred/internal/training"
+	"github.com/wafernet/fred/internal/workload"
+)
+
+// Session owns the observability state and the worker pool of one
+// experiment run. Every driver is a Session method; each figure/table
+// cell it executes builds a fresh scheduler+network, so cells are fully
+// self-contained simulations and independent cells can run concurrently.
+//
+// The zero-config session (NewSession) runs cells across GOMAXPROCS
+// workers with observability off. Attaching a tracer (SetTracer) forces
+// sequential execution: a merged trace needs the per-build "#<seq>"
+// namespace numbering to be continuous, which only a single builder
+// provides — and it keeps traces byte-identical run to run.
+//
+// A Session's Build and RunTraining may be called from multiple
+// goroutines concurrently (the collected hotspot tables and the build
+// sequence are mutex-guarded), except while a tracer is attached:
+// tracers are single-goroutine by contract (see trace.Tracer).
+type Session struct {
+	tracer    trace.Tracer
+	linkStats bool
+	parallel  int
+
+	mu       sync.Mutex
+	buildSeq int
+
+	linkTables *report.Collector
+}
+
+// NewSession returns a session with observability off and the worker
+// pool sized to GOMAXPROCS.
+func NewSession() *Session { return &Session{linkTables: report.NewCollector()} }
+
+// SetParallel sizes the worker pool used to fan independent cells out:
+// n ≤ 0 means GOMAXPROCS, 1 means sequential. Merged rows and tables
+// are byte-identical for every pool size — cells are isolated
+// simulations and results merge in deterministic paper order.
+func (s *Session) SetParallel(n int) { s.parallel = n }
+
+// SetTracer attaches a tracer to every subsequently built system: its
+// network (flow spans, link counters), its scheduler (event-count
+// samples) and its training runs (collective-op spans) all record into
+// it. Pass nil to detach. The per-build namespace sequence restarts, so
+// attaching a fresh tracer and rerunning an experiment reproduces the
+// previous trace byte for byte. A non-nil tracer forces the session
+// sequential.
+func (s *Session) SetTracer(tr trace.Tracer) {
+	s.tracer = tr
+	s.mu.Lock()
+	s.buildSeq = 0
+	s.mu.Unlock()
+}
+
+// CollectLinkStats toggles per-run link-telemetry collection: every
+// subsequent RunTraining appends a top-10 hotspot table, retrievable
+// with LinkStatsTables. Enabling resets previously collected tables.
+func (s *Session) CollectLinkStats(on bool) {
+	s.linkStats = on
+	s.linkTables = report.NewCollector()
+}
+
+// LinkStatsTables returns the hotspot tables collected since
+// CollectLinkStats(true), one per training run, in driver cell order
+// regardless of which worker ran each cell.
+func (s *Session) LinkStatsTables() []*report.Table { return s.linkTables.Tables() }
+
+// workers resolves the effective pool size.
+func (s *Session) workers() int {
+	if s.tracer != nil {
+		return 1
+	}
+	n := s.parallel
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// forEach executes fn(cell, cs) for every cell in [0, n), the session's
+// unit of fan-out. With one worker the cells run in order on the
+// session itself, exactly as the sequential drivers always have. With
+// more, each cell gets an isolated child session (inheriting link-stats
+// collection but running its nested drivers sequentially) and a
+// reserved slot in the parent's table collector, so the hotspot tables
+// merge back in cell order no matter which worker finishes first.
+// Callers index result arrays by cell, which keeps row order
+// deterministic by construction.
+func (s *Session) forEach(n int, fn func(cell int, cs *Session)) {
+	w := s.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i, s)
+		}
+		return
+	}
+	children := make([]*Session, n)
+	slots := make([]int, n)
+	for i := range children {
+		c := NewSession()
+		c.linkStats = s.linkStats
+		c.parallel = 1
+		children[i] = c
+		slots[i] = s.linkTables.Reserve()
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, w)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(i, children[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range children {
+		s.linkTables.Fill(slots[i], c.LinkStatsTables()...)
+	}
+}
+
+// observeNetwork applies the session's hooks to a freshly built wafer
+// network. Each traced build gets a unique "<system>#<seq>" trace
+// namespace so the many runs of one experiment, whose simulated clocks
+// all start at zero, stay distinguishable in the merged trace.
+func (s *Session) observeNetwork(net *netsim.Network, system System) {
+	if s.tracer != nil {
+		s.mu.Lock()
+		s.buildSeq++
+		seq := s.buildSeq
+		s.mu.Unlock()
+		net.SetName(fmt.Sprintf("%s#%d", system, seq))
+		net.SetTracer(s.tracer)
+		trace.AttachSchedulerCounter(net.Scheduler(), s.tracer,
+			"scheduler/"+net.Name(), 4096)
+	}
+	if s.linkStats {
+		net.EnableLinkTelemetry()
+	}
+}
+
+// RunTraining simulates one iteration of the model under the strategy
+// on a fresh instance of the system.
+func (s *Session) RunTraining(sys System, m *workload.Model, strat parallelism.Strategy, perReplica int) *training.Report {
+	w := s.Build(sys)
+	r := training.MustSimulate(training.Config{
+		Wafer:               w,
+		Model:               m,
+		Strategy:            strat,
+		MinibatchPerReplica: perReplica,
+		Tracer:              s.tracer,
+	})
+	if s.linkStats {
+		title := fmt.Sprintf("Link hotspots: %s, %v on %s", m.Name, strat, sys)
+		s.linkTables.Append(w.Network().HotspotTable(title, 10))
+	}
+	return r
+}

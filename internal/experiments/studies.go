@@ -26,78 +26,88 @@ type PlacementRow struct {
 // on a 4×4 mesh under an MP-favouring and a DP/PP-favouring placement,
 // plus FRED with its consecutive placement. For each dimension it
 // reports static link overlap and the simulated completion time of the
-// dimension's concurrent 1 GB collectives.
-func PlacementStudy() ([]PlacementRow, *report.Table) {
-	s := parallelism.Strategy{MP: 2, DP: 4, PP: 2}
+// dimension's concurrent 1 GB collectives. One cell per
+// (placement, dimension) pair.
+func (s *Session) PlacementStudy() ([]PlacementRow, *report.Table) {
+	strat := parallelism.Strategy{MP: 2, DP: 4, PP: 2}
+
+	newMesh44 := func() (topology.Wafer, placement.Placement, placement.Placement) {
+		cfg := topology.DefaultMeshConfig()
+		cfg.W, cfg.H = 4, 4
+		m := topology.NewMesh(netsim.New(sim.NewScheduler()), cfg)
+		return m,
+			placement.ByDimOrder(strat, [3]placement.Dim{placement.MP, placement.DP, placement.PP}),
+			placement.ByDimOrder(strat, [3]placement.Dim{placement.DP, placement.PP, placement.MP})
+	}
+	builds := []struct {
+		name  string
+		build func() (topology.Wafer, placement.Placement)
+	}{
+		{"mesh MP-first (Fig 5a)", func() (topology.Wafer, placement.Placement) {
+			w, mpFirst, _ := newMesh44()
+			return w, mpFirst
+		}},
+		{"mesh DP-first (Fig 5b)", func() (topology.Wafer, placement.Placement) {
+			w, _, dpFirst := newMesh44()
+			return w, dpFirst
+		}},
+		{"Fred-D consecutive", func() (topology.Wafer, placement.Placement) {
+			net := netsim.New(sim.NewScheduler())
+			return topology.NewFredVariant(net, topology.FredD), placement.Consecutive(strat)
+		}},
+	}
+	dims := []placement.Dim{placement.MP, placement.DP, placement.PP}
+
+	rows := make([]PlacementRow, len(builds)*len(dims))
+	s.forEach(len(rows), func(i int, cs *Session) {
+		b, dim := builds[i/len(dims)], dims[i%len(dims)]
+		w, p := b.build()
+		rep := placement.Congestion(w, strat, p)
+		var groups [][]int
+		switch dim {
+		case placement.MP:
+			groups = strat.MPGroups()
+		case placement.DP:
+			groups = strat.DPGroups()
+		case placement.PP:
+			groups = strat.PPGroups()
+		}
+		comm := collective.NewComm(w)
+		var scheds []collective.Schedule
+		for _, g := range groups {
+			if len(g) < 2 {
+				continue
+			}
+			npus := p.NPUs(g)
+			if dim == placement.PP {
+				// Pipeline traffic: stage-to-stage transfers.
+				var phases []collective.Phase
+				for j := 0; j+1 < len(npus); j++ {
+					phases = append(phases, comm.P2P(npus[j], npus[j+1], 1e9).Phases...)
+				}
+				scheds = append(scheds, collective.Schedule{Name: "pp", Phases: phases})
+			} else {
+				scheds = append(scheds, comm.AllReduce(npus, 1e9))
+			}
+		}
+		max := maxOf(collective.RunConcurrently(w.Network(), scheds))
+		rows[i] = PlacementRow{Placement: b.name, Dim: dim, Overlap: rep.MaxOverlap[dim], Time: max}
+	})
+
 	tbl := &report.Table{
 		Title:  "Figure 5: device placement trade-off, MP(2)-DP(4)-PP(2) on 4x4 mesh",
 		Header: []string{"placement", "dim", "max link overlap", "concurrent time (1GB)"},
 	}
-	var rows []PlacementRow
-
-	newMesh44 := func() *topology.Mesh {
-		cfg := topology.DefaultMeshConfig()
-		cfg.W, cfg.H = 4, 4
-		return topology.NewMesh(netsim.New(sim.NewScheduler()), cfg)
+	for _, row := range rows {
+		tbl.AddRow(row.Placement, row.Dim.String(), row.Overlap, row.Time)
 	}
-
-	measure := func(name string, build func() (topology.Wafer, placement.Placement)) {
-		for _, dim := range []placement.Dim{placement.MP, placement.DP, placement.PP} {
-			w, p := build()
-			rep := placement.Congestion(w, s, p)
-			var groups [][]int
-			switch dim {
-			case placement.MP:
-				groups = s.MPGroups()
-			case placement.DP:
-				groups = s.DPGroups()
-			case placement.PP:
-				groups = s.PPGroups()
-			}
-			comm := collective.NewComm(w)
-			var scheds []collective.Schedule
-			for _, g := range groups {
-				if len(g) < 2 {
-					continue
-				}
-				npus := p.NPUs(g)
-				if dim == placement.PP {
-					// Pipeline traffic: stage-to-stage transfers.
-					var phases []collective.Phase
-					for i := 0; i+1 < len(npus); i++ {
-						phases = append(phases, comm.P2P(npus[i], npus[i+1], 1e9).Phases...)
-					}
-					scheds = append(scheds, collective.Schedule{Name: "pp", Phases: phases})
-				} else {
-					scheds = append(scheds, comm.AllReduce(npus, 1e9))
-				}
-			}
-			times := collective.RunConcurrently(w.Network(), scheds)
-			max := 0.0
-			for _, t := range times {
-				if t > max {
-					max = t
-				}
-			}
-			row := PlacementRow{Placement: name, Dim: dim, Overlap: rep.MaxOverlap[dim], Time: max}
-			rows = append(rows, row)
-			tbl.AddRow(name, dim.String(), row.Overlap, row.Time)
-		}
-	}
-
-	measure("mesh MP-first (Fig 5a)", func() (topology.Wafer, placement.Placement) {
-		return newMesh44(), placement.ByDimOrder(s, [3]placement.Dim{placement.MP, placement.DP, placement.PP})
-	})
-	measure("mesh DP-first (Fig 5b)", func() (topology.Wafer, placement.Placement) {
-		return newMesh44(), placement.ByDimOrder(s, [3]placement.Dim{placement.DP, placement.PP, placement.MP})
-	})
-	measure("Fred-D consecutive", func() (topology.Wafer, placement.Placement) {
-		net := netsim.New(sim.NewScheduler())
-		return topology.NewFredVariant(net, topology.FredD), placement.Consecutive(s)
-	})
 	tbl.AddNote("a mesh placement must sacrifice one dimension (Section 3.2.2); FRED routes all three congestion-free")
 	return rows, tbl
 }
+
+// PlacementStudy regenerates the Figure 5 trade-off on a fresh default
+// session.
+func PlacementStudy() ([]PlacementRow, *report.Table) { return NewSession().PlacementStudy() }
 
 // HWTables renders Tables 3-5: physical parameters, FRED overhead, and
 // the evaluated configurations.

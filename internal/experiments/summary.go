@@ -28,14 +28,15 @@ func (r SummaryRow) Match() bool {
 // Summary recomputes every headline number of the paper next to its
 // reported value — the one-screen answer to "does this reproduction
 // hold up?". It runs Figure 10, the Figure 11(a) aggregates and the
-// I/O hotspot law on fresh simulators each call.
-func Summary() ([]SummaryRow, *report.Table) {
+// I/O hotspot law on fresh simulators each call, reusing the session's
+// pool inside those nested drivers.
+func (s *Session) Summary() ([]SummaryRow, *report.Table) {
 	var rows []SummaryRow
 	add := func(claim string, paper, measured, tol float64) {
 		rows = append(rows, SummaryRow{Claim: claim, Paper: paper, Measured: measured, Tolerance: tol})
 	}
 
-	fig10, _ := Figure10(false)
+	fig10, _ := s.Figure10(false)
 	speedup := func(workload string, sys System) float64 {
 		for _, r := range fig10 {
 			if r.Workload == workload && r.System == sys {
@@ -52,11 +53,11 @@ func Summary() ([]SummaryRow, *report.Table) {
 	add("GPT-3 Fred-D speedup", 1.34, speedup("GPT-3", FredD), 0.10)
 	add("Transformer-1T Fred-D speedup", 1.4, speedup("Transformer-1T", FredD), 0.20)
 
-	sum11a, _ := Figure11a()
+	sum11a, _ := s.Figure11a()
 	add("Fig 11(a) avg speedup", 1.63, sum11a.AvgSpeedup, 0.10)
 	add("Fig 11(a) exposed-comm improvement", 4.22, sum11a.AvgExposedImprovement, 0.10)
 
-	m := Build(Baseline).(*topology.Mesh)
+	m := s.Build(Baseline).(*topology.Mesh)
 	add("mesh I/O hotspot overlap (2N-1)", 9, float64(m.MaxIOChannelOverlap()), 0)
 	add("mesh streaming line-rate fraction", 0.65, m.StreamUtilization(), 0.01)
 
@@ -73,3 +74,6 @@ func Summary() ([]SummaryRow, *report.Table) {
 	}
 	return rows, tbl
 }
+
+// Summary runs the headline comparison on a fresh default session.
+func Summary() ([]SummaryRow, *report.Table) { return NewSession().Summary() }

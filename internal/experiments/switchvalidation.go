@@ -23,14 +23,14 @@ import (
 // down-flow (trunk slice → members). Root model: a Fred_3(10) whose
 // port g·5+l carries group g's slice from leaf l, validated with one
 // all-reduce flow per group.
-func ValidateFabricRouting(s parallelism.Strategy) error {
-	f := Build(FredD).(*topology.FredFabric)
-	p := placement.Consecutive(s)
+func (s *Session) ValidateFabricRouting(strat parallelism.Strategy) error {
+	f := s.Build(FredD).(*topology.FredFabric)
+	p := placement.Consecutive(strat)
 
 	classes := map[string][][]int{
-		"MP": s.MPGroups(),
-		"DP": s.DPGroups(),
-		"PP": s.PPGroups(),
+		"MP": strat.MPGroups(),
+		"DP": strat.DPGroups(),
+		"PP": strat.PPGroups(),
 	}
 	for class, groups := range classes {
 		// Per-leaf flow sets for this class's concurrent phase.
@@ -60,7 +60,7 @@ func ValidateFabricRouting(s parallelism.Strategy) error {
 					continue
 				}
 				if trunk > 7 {
-					return fmt.Errorf("%s phase of %v needs more than 4 trunk slices at leaf %d", class, s, l1)
+					return fmt.Errorf("%s phase of %v needs more than 4 trunk slices at leaf %d", class, strat, l1)
 				}
 				flows = append(flows,
 					fred.Flow{IPs: local, OPs: []int{trunk}, Label: class + "-up"},
@@ -73,7 +73,7 @@ func ValidateFabricRouting(s parallelism.Strategy) error {
 			}
 			ic := fred.NewInterconnect(3, 8)
 			if _, err := ic.Route(flows); err != nil {
-				return fmt.Errorf("%s phase of %v unroutable at leaf %d: %w", class, s, l1, err)
+				return fmt.Errorf("%s phase of %v unroutable at leaf %d: %w", class, strat, l1, err)
 			}
 		}
 		// Root switch: one slice port per (group, leaf) pair; validate
@@ -97,16 +97,21 @@ func ValidateFabricRouting(s parallelism.Strategy) error {
 		}
 		if len(rootFlows) > 0 {
 			if slice > 20 {
-				return fmt.Errorf("%s phase of %v needs %d root ports", class, s, slice)
+				return fmt.Errorf("%s phase of %v needs %d root ports", class, strat, slice)
 			}
 			ic := fred.NewInterconnect(3, slice)
 			if slice < 2 {
 				continue
 			}
 			if _, err := ic.Route(rootFlows); err != nil {
-				return fmt.Errorf("%s phase of %v unroutable at root: %w", class, s, err)
+				return fmt.Errorf("%s phase of %v unroutable at root: %w", class, strat, err)
 			}
 		}
 	}
 	return nil
+}
+
+// ValidateFabricRouting runs the check on a fresh default session.
+func ValidateFabricRouting(strat parallelism.Strategy) error {
+	return NewSession().ValidateFabricRouting(strat)
 }

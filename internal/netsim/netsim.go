@@ -167,10 +167,9 @@ type Network struct {
 	// a set: every settlement and rate-recomputation pass iterates it,
 	// and a deterministic order makes float accumulation, completion-
 	// event tie-breaking and trace emission reproducible bit-for-bit.
-	active      []*Flow
-	lastSettle  sim.Time
-	dirty       bool
-	recomputing bool
+	active     []*Flow
+	lastSettle sim.Time
+	dirty      bool
 
 	flowSeq   uint64
 	tracer    trace.Tracer
@@ -495,12 +494,15 @@ func (n *Network) recompute() {
 	}
 	states := make(map[*Link]*linkState)
 	frozen := make(map[*Flow]bool, len(n.active))
+	unfrozenCount := 0
 	for _, f := range n.active {
 		f.rate = 0
+		finite := false
 		for _, l := range f.links {
 			if math.IsInf(l.Bandwidth, 1) {
 				continue
 			}
+			finite = true
 			st := states[l]
 			if st == nil {
 				st = &linkState{residual: l.Bandwidth}
@@ -508,8 +510,17 @@ func (n *Network) recompute() {
 			}
 			st.unfrozen++
 		}
+		if !finite {
+			// Contention-free flow: every link it crosses has infinite
+			// bandwidth, so no saturation event can ever freeze it.
+			// Freeze it at infinite rate upfront instead of letting it
+			// linger unfrozen through the filling loop.
+			f.rate = math.Inf(1)
+			frozen[f] = true
+			continue
+		}
+		unfrozenCount++
 	}
-	unfrozenCount := len(n.active)
 	for unfrozenCount > 0 {
 		delta := math.Inf(1)
 		for _, st := range states {
@@ -521,7 +532,10 @@ func (n *Network) recompute() {
 			}
 		}
 		if math.IsInf(delta, 1) {
-			// Remaining flows traverse only infinite-bandwidth links.
+			// Unreachable while the upfront freeze above holds (every
+			// unfrozen flow keeps at least one finite link with an
+			// unfrozen count > 0), but guard so a future edit cannot
+			// turn this loop into a spin.
 			for _, f := range n.active {
 				if !frozen[f] {
 					f.rate = math.Inf(1)

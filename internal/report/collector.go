@@ -1,0 +1,64 @@
+package report
+
+import "sync"
+
+// Collector accumulates tables produced by concurrent workers while
+// guaranteeing a deterministic output order. A producer reserves an
+// ordered slot up front (in the order the work is issued) and fills it
+// whenever its work completes; Tables flattens the slots in reservation
+// order, so the merged output is independent of completion order.
+//
+// All methods are safe for concurrent use.
+type Collector struct {
+	mu    sync.Mutex
+	slots [][]*Table
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Reserve allocates the next ordered slot and returns its index.
+func (c *Collector) Reserve() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots = append(c.slots, nil)
+	return len(c.slots) - 1
+}
+
+// Fill appends tables to a previously reserved slot. It may be called
+// several times; tables accumulate within the slot in call order.
+func (c *Collector) Fill(slot int, tables ...*Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots[slot] = append(c.slots[slot], tables...)
+}
+
+// Append reserves a slot and fills it in one step — the sequential
+// producer's convenience.
+func (c *Collector) Append(tables ...*Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots = append(c.slots, tables)
+}
+
+// Len reports the number of collected tables across all slots.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, s := range c.slots {
+		n += len(s)
+	}
+	return n
+}
+
+// Tables returns every collected table, flattened in slot order.
+func (c *Collector) Tables() []*Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*Table
+	for _, s := range c.slots {
+		out = append(out, s...)
+	}
+	return out
+}

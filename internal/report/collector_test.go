@@ -1,0 +1,77 @@
+package report
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func named(title string) *Table { return &Table{Title: title} }
+
+func titles(tables []*Table) []string {
+	out := make([]string, len(tables))
+	for i, t := range tables {
+		out[i] = t.Title
+	}
+	return out
+}
+
+// Slots flatten in reservation order, not fill order.
+func TestCollectorSlotOrder(t *testing.T) {
+	c := NewCollector()
+	s0, s1, s2 := c.Reserve(), c.Reserve(), c.Reserve()
+	c.Fill(s2, named("c"))
+	c.Fill(s0, named("a1"), named("a2"))
+	c.Fill(s1) // legitimately empty cell
+	got := titles(c.Tables())
+	want := []string{"a1", "a2", "c"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("tables = %v, want %v", got, want)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+// Append is Reserve+Fill and interleaves with explicit slots.
+func TestCollectorAppendInterleaves(t *testing.T) {
+	c := NewCollector()
+	c.Append(named("a"))
+	slot := c.Reserve()
+	c.Append(named("c"))
+	c.Fill(slot, named("b"))
+	got := titles(c.Tables())
+	want := []string{"a", "b", "c"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("tables = %v, want %v", got, want)
+	}
+}
+
+// Concurrent Append/Fill from many goroutines must be race-free and
+// lose nothing; reserved order wins regardless of completion order.
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	const n = 64
+	slots := make([]int, n)
+	for i := range slots {
+		slots[i] = c.Reserve()
+	}
+	var wg sync.WaitGroup
+	for i := n - 1; i >= 0; i-- {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Fill(slots[i], named(fmt.Sprintf("t%03d", i)))
+		}(i)
+	}
+	wg.Wait()
+	got := titles(c.Tables())
+	if len(got) != n {
+		t.Fatalf("got %d tables, want %d", len(got), n)
+	}
+	for i, title := range got {
+		if want := fmt.Sprintf("t%03d", i); title != want {
+			t.Fatalf("slot %d holds %q, want %q", i, title, want)
+		}
+	}
+}
