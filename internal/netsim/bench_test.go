@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/wafernet/fred/internal/sim"
+)
+
+// Benchmarks for the waterfilling engine hot paths. The *Reference
+// variants run the original cancel-everything map-based implementation
+// (reference.go) on identical topologies, so a single run produces the
+// before/after comparison recorded in BENCH_netsim.json:
+//
+//	go test -run '^$' -bench 'Recompute|FlowChurn' -benchmem ./internal/netsim
+
+// contendedNet builds a 16-link network with nFlows long-lived flows,
+// each crossing three links in a deterministic pattern, activated and
+// rate-filled at t=0.
+func contendedNet(tb testing.TB, reference bool, nFlows int) (*sim.Scheduler, *Network) {
+	s := sim.NewScheduler()
+	net := New(s)
+	if reference {
+		net.useReferenceEngine()
+	}
+	a, b := net.AddNode("a"), net.AddNode("b")
+	links := make([]LinkID, 16)
+	for i := range links {
+		links[i] = net.AddLink(a, b, 100+float64(i*7), 0, "l")
+	}
+	for i := 0; i < nFlows; i++ {
+		net.StartFlow(FlowSpec{
+			Links: []LinkID{links[i%16], links[(i+5)%16], links[(i+11)%16]},
+			Bytes: 1e15, Latency: 0,
+		})
+	}
+	s.RunUntil(0)
+	if net.ActiveFlows() != nFlows {
+		tb.Fatalf("active = %d, want %d", net.ActiveFlows(), nFlows)
+	}
+	return s, net
+}
+
+// BenchmarkRecompute measures one full rate recomputation — settle,
+// progressive filling over 128 contending flows, completion re-timing
+// — in the steady state the training drivers spend most of their time
+// in. The filling pass is forced each iteration; allocs/op must be 0.
+func BenchmarkRecompute(b *testing.B) {
+	_, net := contendedNet(b, false, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.fillNeeded = true
+		net.recompute()
+	}
+}
+
+// BenchmarkRecomputeReference is the original engine on the identical
+// scenario: fresh scratch maps and cancel-and-recreate completion
+// events every pass.
+func BenchmarkRecomputeReference(b *testing.B) {
+	_, net := contendedNet(b, true, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.referenceRecompute()
+	}
+}
+
+// flowChurn measures the full lifecycle of one short flow — start,
+// activate, rate refill, completion, detach — against a backdrop of 64
+// long-lived contending flows, the dominant event pattern of the
+// collective schedules.
+func flowChurn(b *testing.B, reference bool) {
+	s, net := contendedNet(b, reference, 64)
+	links := []LinkID{0, 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		net.StartFlow(FlowSpec{
+			Links: links, Bytes: 1000, Latency: 0,
+			Done: func(*Flow) { done = true },
+		})
+		for !done && s.Step() {
+		}
+	}
+}
+
+func BenchmarkFlowChurn(b *testing.B)          { flowChurn(b, false) }
+func BenchmarkFlowChurnReference(b *testing.B) { flowChurn(b, true) }

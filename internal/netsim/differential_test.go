@@ -1,0 +1,293 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/wafernet/fred/internal/sim"
+)
+
+// Differential testing of the incremental engine against the reference
+// implementation (reference.go): the same seeded scenario — topology,
+// flow arrivals, pause/resume/cancel churn, completion-chained flows —
+// runs once on each engine, and every observable must match exactly
+// (==, not approximately): the engines are required to be
+// bit-identical, which is what keeps the experiment goldens stable.
+
+// churnRecord captures every observable of one scenario run.
+type churnRecord struct {
+	finishTimes []sim.Time // per flow id; -1 if never finished
+	finishOrder []uint64   // flow ids in Done-callback order
+	rateSamples []float64  // all flows' rates at each probe time
+	linkBytes   []float64  // final per-link byte counters
+	endTime     sim.Time
+}
+
+// churnScenario is the deterministic program derived from a seed. All
+// randomness is drawn up front so both engines replay the exact same
+// schedule.
+type churnScenario struct {
+	nNodes    int
+	linkSrc   []int
+	linkDst   []int
+	linkBW    []float64
+	linkLat   []float64
+	flowRoute [][]int // indices into the link slices
+	flowBytes []float64
+	flowLat   []float64
+	flowStart []sim.Time
+	// chained flows started from Done callbacks, consumed in
+	// completion order.
+	chainRoute [][]int
+	chainBytes []float64
+	ops        []churnOp
+	probes     []sim.Time
+}
+
+type churnOp struct {
+	at   sim.Time
+	kind int // 0 pause, 1 resume, 2 cancel
+	flow int // index into the initially started flows
+}
+
+// roundOr returns a round value (to provoke exact event-time ties)
+// with probability 1/2, otherwise an irrational-ish random one.
+func roundOr(rng *rand.Rand, round, scale float64) float64 {
+	if rng.Intn(2) == 0 {
+		return round * float64(1+rng.Intn(8))
+	}
+	return scale * (0.1 + rng.Float64())
+}
+
+func makeScenario(seed int64) churnScenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := churnScenario{nNodes: 3 + rng.Intn(8)}
+	nLinks := 4 + rng.Intn(12)
+	for i := 0; i < nLinks; i++ {
+		bw := roundOr(rng, 100, 1000)
+		if rng.Float64() < 0.15 {
+			bw = math.Inf(1)
+		}
+		lat := 0.0
+		if rng.Intn(2) == 0 {
+			lat = roundOr(rng, 0.5, 0.25)
+		}
+		sc.linkSrc = append(sc.linkSrc, rng.Intn(sc.nNodes))
+		sc.linkDst = append(sc.linkDst, rng.Intn(sc.nNodes))
+		sc.linkBW = append(sc.linkBW, bw)
+		sc.linkLat = append(sc.linkLat, lat)
+	}
+	route := func() []int {
+		k := 1 + rng.Intn(minInt(4, nLinks))
+		perm := rng.Perm(nLinks)
+		r := append([]int(nil), perm[:k]...)
+		if rng.Intn(3) == 0 { // duplicate a hop: exercises dedup
+			r = append(r, r[0])
+		}
+		return r
+	}
+	nFlows := 4 + rng.Intn(16)
+	for i := 0; i < nFlows; i++ {
+		sc.flowRoute = append(sc.flowRoute, route())
+		sc.flowBytes = append(sc.flowBytes, roundOr(rng, 100, 5000))
+		lat := -1.0
+		if rng.Intn(3) == 0 {
+			lat = roundOr(rng, 1, 0.5)
+		}
+		sc.flowLat = append(sc.flowLat, lat)
+		sc.flowStart = append(sc.flowStart, sim.Time(rng.Intn(8)))
+	}
+	nChain := rng.Intn(6)
+	for i := 0; i < nChain; i++ {
+		sc.chainRoute = append(sc.chainRoute, route())
+		sc.chainBytes = append(sc.chainBytes, roundOr(rng, 100, 2000))
+	}
+	nOps := rng.Intn(16)
+	for i := 0; i < nOps; i++ {
+		at := sim.Time(rng.Intn(12))
+		if rng.Intn(2) == 0 {
+			at += sim.Time(rng.Float64())
+		}
+		sc.ops = append(sc.ops, churnOp{at: at, kind: rng.Intn(3), flow: rng.Intn(nFlows)})
+	}
+	for i := 0; i < 4; i++ {
+		sc.probes = append(sc.probes, sim.Time(i*3)+sim.Time(rng.Intn(2)))
+	}
+	return sc
+}
+
+// run replays the scenario on a fresh network, on the reference engine
+// when reference is set, and records all observables.
+func (sc churnScenario) run(reference bool) churnRecord {
+	s := sim.NewScheduler()
+	net := New(s)
+	if reference {
+		net.useReferenceEngine()
+	}
+	nodes := make([]NodeID, sc.nNodes)
+	for i := range nodes {
+		nodes[i] = net.AddNode("n")
+	}
+	links := make([]LinkID, len(sc.linkBW))
+	for i := range links {
+		links[i] = net.AddLink(nodes[sc.linkSrc[i]], nodes[sc.linkDst[i]], sc.linkBW[i], sc.linkLat[i], "l")
+	}
+	ids := func(route []int) []LinkID {
+		out := make([]LinkID, len(route))
+		for i, li := range route {
+			out[i] = links[li]
+		}
+		return out
+	}
+
+	totalFlows := len(sc.flowRoute) + len(sc.chainRoute)
+	rec := churnRecord{finishTimes: make([]sim.Time, totalFlows)}
+	for i := range rec.finishTimes {
+		rec.finishTimes[i] = -1
+	}
+	flows := make([]*Flow, len(sc.flowRoute))
+	var allFlows []*Flow
+	chained := 0
+	var onDone func(f *Flow)
+	onDone = func(f *Flow) {
+		rec.finishTimes[f.ID()] = s.Now()
+		rec.finishOrder = append(rec.finishOrder, f.ID())
+		if chained < len(sc.chainRoute) {
+			c := chained
+			chained++
+			nf := net.StartFlow(FlowSpec{
+				Links: ids(sc.chainRoute[c]), Bytes: sc.chainBytes[c],
+				Latency: -1, Done: onDone, Label: "chain",
+			})
+			allFlows = append(allFlows, nf)
+		}
+	}
+	for i := range sc.flowRoute {
+		i := i
+		s.At(sc.flowStart[i], func() {
+			flows[i] = net.StartFlow(FlowSpec{
+				Links: ids(sc.flowRoute[i]), Bytes: sc.flowBytes[i],
+				Latency: sc.flowLat[i], Done: onDone, Label: "init",
+			})
+			allFlows = append(allFlows, flows[i])
+		})
+	}
+	for _, op := range sc.ops {
+		op := op
+		s.At(op.at, func() {
+			f := flows[op.flow]
+			if f == nil {
+				return // not started yet at this op's time
+			}
+			switch op.kind {
+			case 0:
+				f.Pause()
+			case 1:
+				f.Resume()
+			case 2:
+				f.Cancel()
+				rec.finishTimes[f.ID()] = f.Finished()
+			}
+		})
+	}
+	for _, at := range sc.probes {
+		s.At(at, func() {
+			for _, f := range allFlows {
+				rec.rateSamples = append(rec.rateSamples, f.Rate())
+			}
+		})
+	}
+	// A safety horizon: paused flows may never resume; don't run
+	// forever on pathological schedules (completion events of active
+	// flows all land well before this for the byte/bandwidth ranges
+	// drawn above).
+	rec.endTime = s.RunUntil(1e6)
+	for _, id := range links {
+		rec.linkBytes = append(rec.linkBytes, net.Link(id).BytesCarried())
+	}
+	return rec
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestDifferentialEnginesBitIdentical is the tentpole property test:
+// 50 seeded random scenarios, each replayed on both engines, every
+// observable compared with exact float equality.
+func TestDifferentialEnginesBitIdentical(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		sc := makeScenario(seed)
+		opt := sc.run(false)
+		ref := sc.run(true)
+
+		if opt.endTime != ref.endTime {
+			t.Errorf("seed %d: end time %v != reference %v", seed, opt.endTime, ref.endTime)
+		}
+		if len(opt.finishOrder) != len(ref.finishOrder) {
+			t.Fatalf("seed %d: %d completions != reference %d",
+				seed, len(opt.finishOrder), len(ref.finishOrder))
+		}
+		for i := range opt.finishOrder {
+			if opt.finishOrder[i] != ref.finishOrder[i] {
+				t.Fatalf("seed %d: completion order diverges at %d: flow %d != reference flow %d",
+					seed, i, opt.finishOrder[i], ref.finishOrder[i])
+			}
+		}
+		for id, ft := range opt.finishTimes {
+			if ft != ref.finishTimes[id] {
+				t.Errorf("seed %d: flow %d finished at %v != reference %v",
+					seed, id, ft, ref.finishTimes[id])
+			}
+		}
+		if len(opt.rateSamples) != len(ref.rateSamples) {
+			t.Fatalf("seed %d: %d rate samples != reference %d",
+				seed, len(opt.rateSamples), len(ref.rateSamples))
+		}
+		for i := range opt.rateSamples {
+			if opt.rateSamples[i] != ref.rateSamples[i] {
+				t.Errorf("seed %d: rate sample %d: %v != reference %v",
+					seed, i, opt.rateSamples[i], ref.rateSamples[i])
+			}
+		}
+		for i := range opt.linkBytes {
+			if opt.linkBytes[i] != ref.linkBytes[i] {
+				t.Errorf("seed %d: link %d carried %v != reference %v",
+					seed, i, opt.linkBytes[i], ref.linkBytes[i])
+			}
+		}
+	}
+}
+
+// The steady-state recompute — settle, filling pass, completion
+// re-timing — must not allocate: scratch lives in links and flows,
+// and completion events are moved in place.
+func TestRecomputeSteadyStateZeroAlloc(t *testing.T) {
+	s := sim.NewScheduler()
+	net := New(s)
+	a, b := net.AddNode("a"), net.AddNode("b")
+	links := make([]LinkID, 8)
+	for i := range links {
+		links[i] = net.AddLink(a, b, 100+float64(i), 0, "l")
+	}
+	for i := 0; i < 32; i++ {
+		net.StartFlow(FlowSpec{
+			Links: []LinkID{links[i%8], links[(i+3)%8]}, Bytes: 1e12, Latency: 0,
+		})
+	}
+	s.RunUntil(0)
+	if net.ActiveFlows() != 32 {
+		t.Fatalf("active = %d, want 32", net.ActiveFlows())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		net.fillNeeded = true // force the full filling pass
+		net.recompute()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state recompute allocates %v objects/op, want 0", allocs)
+	}
+}

@@ -12,6 +12,15 @@
 // completions are scheduled on the shared sim.Scheduler, so network
 // activity interleaves deterministically with compute and I/O events
 // from other simulators.
+//
+// The rate engine is incremental and allocation-free in steady state:
+// progressive filling runs over epoch-stamped scratch state embedded in
+// the links (no per-recompute maps), is skipped entirely when only
+// contention-free flows churned, and each flow owns a single completion
+// event that is moved in place (sim.Scheduler.Reschedule) rather than
+// canceled and recreated. See DESIGN.md ("Incremental waterfilling
+// engine") and reference.go for the straightforward implementation the
+// engine is differentially tested against.
 package netsim
 
 import (
@@ -32,6 +41,11 @@ type LinkID int
 // or that a flow has drained, guarding against float64 round-off.
 const rateEpsilon = 1e-9
 
+// dedupThreshold is the route length above which StartFlow falls back
+// to a map for link deduplication; at or below it a linear scan is
+// cheaper and allocation-free.
+const dedupThreshold = 16
+
 // Link is a directed channel between two nodes.
 type Link struct {
 	ID        LinkID
@@ -41,9 +55,15 @@ type Link struct {
 	Name      string
 
 	net       *Network
-	flows     []*Flow
 	bytesDone float64 // cumulative bytes carried, for utilisation reports
 	peakUtil  float64 // max instantaneous utilization (telemetry/tracing only)
+
+	// Progressive-filling scratch, valid only while fillEpoch matches
+	// the network's current pass. Embedding it here replaces the
+	// per-recompute map[*Link]*linkState allocation.
+	fillEpoch uint64
+	residual  float64
+	unfrozen  int
 }
 
 // BytesCarried reports the cumulative bytes this link has transferred,
@@ -110,20 +130,30 @@ type FlowSpec struct {
 
 // Flow is an in-flight transfer.
 type Flow struct {
-	net        *Network
-	id         uint64
-	links      []*Link
-	label      string
-	latency    float64
-	state      FlowState
-	total      float64
-	remaining  float64
-	rate       float64
-	started    sim.Time
-	finished   sim.Time
-	done       func(*Flow)
+	net   *Network
+	id    uint64
+	links []*Link
+	// finiteLinks is the finite-bandwidth subset of links, in route
+	// order; it aliases links when every link is finite. Progressive
+	// filling only ever visits finite links, so the subset is filtered
+	// once at StartFlow instead of per pass.
+	finiteLinks []*Link
+	label       string
+	latency     float64
+	state       FlowState
+	total       float64
+	remaining   float64
+	rate        float64
+	started     sim.Time
+	finished    sim.Time
+	done        func(*Flow)
+	// complete is the flow's single completion event, created on first
+	// use and re-timed in place on every rate change; detach cancels it
+	// and a later recompute re-arms the same object.
 	complete   *sim.Event
 	latEvent   *sim.Event
+	activeIdx  int      // index in net.active; -1 while not active
+	fillFrozen bool     // progressive-filling scratch
 	stageStart sim.Time // start of the current lifecycle stage (tracing)
 	lastRate   float64  // last rate sample emitted to the tracer
 }
@@ -167,9 +197,33 @@ type Network struct {
 	// a set: every settlement and rate-recomputation pass iterates it,
 	// and a deterministic order makes float accumulation, completion-
 	// event tie-breaking and trace emission reproducible bit-for-bit.
+	// Each flow tracks its slot in activeIdx, so removal is an
+	// order-preserving shift with no scan.
 	active     []*Flow
 	lastSettle sim.Time
 	dirty      bool
+	dirtyEvent *sim.Event // single re-armed recompute trigger
+
+	// recomputeFn dispatches markDirty's recomputation: the incremental
+	// engine by default, referenceRecompute under the differential-test
+	// hook (see reference.go).
+	recomputeFn func()
+
+	// Incremental-filling bookkeeping: fillNeeded is set whenever a
+	// flow with at least one finite link attaches or detaches — only
+	// then can any max-min rate change. Contention-free flows (all
+	// links infinite) instead queue on freePending and are frozen at
+	// +Inf without a filling pass.
+	fillNeeded  bool
+	freePending []*Flow
+
+	// Reusable scratch (the allocation-free core): fillEpoch stamps
+	// per-link scratch validity, touched lists the finite links seen by
+	// the current pass, rateSum accumulates per-link rates for
+	// telemetry.
+	fillEpoch uint64
+	touched   []*Link
+	rateSum   []float64
 
 	flowSeq   uint64
 	tracer    trace.Tracer
@@ -185,6 +239,7 @@ type Network struct {
 // New creates an empty network driven by the given scheduler.
 func New(s *sim.Scheduler) *Network {
 	n := &Network{sched: s}
+	n.recomputeFn = n.recompute
 	n.SetName("")
 	return n
 }
@@ -285,6 +340,7 @@ func (n *Network) StartFlow(spec FlowSpec) *Flow {
 		started:    n.sched.Now(),
 		stageStart: n.sched.Now(),
 		state:      FlowLatency,
+		activeIdx:  -1,
 	}
 	n.flowSeq++
 	lat := spec.Latency
@@ -295,21 +351,77 @@ func (n *Network) StartFlow(spec FlowSpec) *Flow {
 		}
 	}
 	f.latency = lat
-	// Deduplicate: a flow occupies each link once no matter how often a
-	// route or tree mentions it.
-	f.links = make([]*Link, 0, len(spec.Links))
-	seen := make(map[LinkID]bool, len(spec.Links))
-	for _, id := range spec.Links {
-		if !seen[id] {
-			seen[id] = true
-			f.links = append(f.links, n.links[id])
-		}
-	}
+	n.buildRoute(f, spec.Links)
 	f.latEvent = n.sched.After(lat, func() {
 		f.latEvent = nil
 		n.activate(f)
 	})
 	return f
+}
+
+// buildRoute deduplicates the route (a flow occupies each link once no
+// matter how often a route or tree mentions it) into exactly-sized
+// f.links, and filters the finite-bandwidth subset the filling engine
+// iterates. Routes are short, so duplicates are found by linear scan;
+// only pathologically long routes pay for a map.
+func (n *Network) buildRoute(f *Flow, route []LinkID) {
+	if len(route) <= dedupThreshold {
+		uniq := 0
+		for i, id := range route {
+			dup := false
+			for _, prev := range route[:i] {
+				if prev == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				uniq++
+			}
+		}
+		f.links = make([]*Link, 0, uniq)
+		for _, id := range route {
+			l := n.links[id]
+			dup := false
+			for _, prev := range f.links {
+				if prev == l {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				f.links = append(f.links, l)
+			}
+		}
+	} else {
+		f.links = make([]*Link, 0, len(route))
+		seen := make(map[LinkID]bool, len(route))
+		for _, id := range route {
+			if !seen[id] {
+				seen[id] = true
+				f.links = append(f.links, n.links[id])
+			}
+		}
+	}
+	finite := 0
+	for _, l := range f.links {
+		if !math.IsInf(l.Bandwidth, 1) {
+			finite++
+		}
+	}
+	switch finite {
+	case len(f.links):
+		f.finiteLinks = f.links
+	case 0:
+		f.finiteLinks = nil
+	default:
+		f.finiteLinks = make([]*Link, 0, finite)
+		for _, l := range f.links {
+			if !math.IsInf(l.Bandwidth, 1) {
+				f.finiteLinks = append(f.finiteLinks, l)
+			}
+		}
+	}
 }
 
 // traceStage closes the flow's current lifecycle stage with a span on
@@ -331,9 +443,15 @@ func (n *Network) activate(f *Flow) {
 	}
 	n.settle()
 	f.state = FlowActive
+	f.activeIdx = len(n.active)
 	n.active = append(n.active, f)
-	for _, l := range f.links {
-		l.flows = append(l.flows, f)
+	if len(f.finiteLinks) == 0 {
+		// Contention-free: its +Inf rate cannot perturb any max-min
+		// share, so the next recompute freezes it without a filling
+		// pass.
+		n.freePending = append(n.freePending, f)
+	} else {
+		n.fillNeeded = true
 	}
 	n.markDirty()
 }
@@ -403,25 +521,26 @@ func (f *Flow) Cancel() {
 	}
 }
 
-// detach removes the flow from its links and the active set.
+// detach removes the flow from the active set — an order-preserving
+// shift at its tracked slot, so activation-order determinism (settle
+// accumulation, tie-breaking, traces) is untouched and no scan is
+// needed — and parks its completion event.
 func (n *Network) detach(f *Flow) {
-	for i, g := range n.active {
-		if g == f {
-			n.active = append(n.active[:i], n.active[i+1:]...)
-			break
+	if i := f.activeIdx; i >= 0 {
+		copy(n.active[i:], n.active[i+1:])
+		last := len(n.active) - 1
+		n.active[last] = nil
+		n.active = n.active[:last]
+		for j := i; j < last; j++ {
+			n.active[j].activeIdx = j
 		}
-	}
-	for _, l := range f.links {
-		for i, g := range l.flows {
-			if g == f {
-				l.flows = append(l.flows[:i], l.flows[i+1:]...)
-				break
-			}
+		f.activeIdx = -1
+		if len(f.finiteLinks) > 0 {
+			n.fillNeeded = true
 		}
 	}
 	if f.complete != nil {
 		n.sched.Cancel(f.complete)
-		f.complete = nil
 	}
 	f.rate = 0
 }
@@ -471,63 +590,131 @@ func (n *Network) settle() {
 
 // markDirty schedules a single rate recomputation at the current
 // timestamp, so that a burst of same-time flow mutations is followed by
-// exactly one progressive-filling pass.
+// exactly one progressive-filling pass. The trigger event is re-armed
+// in place, never reallocated.
 func (n *Network) markDirty() {
 	if n.dirty {
 		return
 	}
 	n.dirty = true
-	n.sched.After(0, n.recompute)
+	if n.dirtyEvent == nil {
+		n.dirtyEvent = n.sched.After(0, func() { n.recomputeFn() })
+	} else {
+		n.sched.Reschedule(n.dirtyEvent, n.sched.Now())
+	}
 }
 
-// recompute runs progressive filling over the active flows and
-// reschedules every completion event.
+// recompute reacts to a change in the active-flow set: it settles byte
+// counters, refreshes max-min rates, and re-times completion events.
+//
+// The filling pass only runs when a flow with finite links attached or
+// detached since the last pass — nothing else can change any rate.
+// Pure contention-free churn (flows whose every link has infinite
+// bandwidth) freezes the new arrivals at +Inf directly. Completion
+// events are then re-timed in place with a fresh insertion sequence,
+// reproducing exactly the (time, seq) order the previous
+// cancel-everything-and-reschedule implementation produced; an event
+// whose ETA is bit-identical to its currently scheduled time is left
+// untouched. A completion that still fires for a flow no longer active
+// (stale by construction only if a future edit breaks the cancel
+// bookkeeping) is discarded at fire time.
 func (n *Network) recompute() {
 	n.dirty = false
 	n.settle()
 
-	// Progressive filling: raise all unfrozen flows' rates together;
-	// whenever a link saturates, freeze its flows at the current rate.
-	type linkState struct {
-		residual float64
-		unfrozen int
+	if n.fillNeeded {
+		n.runFill()
+		n.fillNeeded = false
+	} else {
+		for _, f := range n.freePending {
+			if f.state == FlowActive && len(f.finiteLinks) == 0 {
+				f.rate = math.Inf(1)
+			}
+		}
 	}
-	states := make(map[*Link]*linkState)
-	frozen := make(map[*Flow]bool, len(n.active))
+	n.freePending = n.freePending[:0]
+
+	now := n.sched.Now()
+	for _, f := range n.active {
+		if f.rate <= 0 {
+			// Starved flow (can only happen transiently); it will be
+			// re-timed on the next recompute.
+			if f.complete != nil {
+				n.sched.Cancel(f.complete)
+			}
+			continue
+		}
+		var eta sim.Time
+		if math.IsInf(f.rate, 1) {
+			eta = now
+		} else {
+			eta = now + f.remaining/f.rate
+		}
+		switch e := f.complete; {
+		case e == nil:
+			g := f
+			f.complete = n.sched.At(eta, func() {
+				if g.state != FlowActive {
+					return // stale completion: flow left the active set
+				}
+				n.finish(g)
+			})
+		case e.Pending() && e.When() == eta:
+			// Lazy: the scheduled completion is already exact; skip the
+			// heap traffic (common in same-timestamp mutation bursts).
+		default:
+			n.sched.Reschedule(e, eta)
+		}
+	}
+
+	if n.tracer != nil || n.telemetry {
+		n.observeRates(now)
+	}
+}
+
+// runFill is one progressive-filling pass: raise all unfrozen flows'
+// rates together; whenever a link saturates, freeze its flows at the
+// current rate. All scratch state lives in the links (epoch-stamped
+// residual/unfrozen) and flows (fillFrozen), and the touched-link list
+// is reused across passes, so a pass performs no allocation. The
+// arithmetic — delta selection, rate accumulation in activation order,
+// residual updates — is operation-for-operation identical to
+// referenceRecompute, keeping rates bit-exact.
+func (n *Network) runFill() {
+	n.fillEpoch++
+	epoch := n.fillEpoch
+	touched := n.touched[:0]
 	unfrozenCount := 0
 	for _, f := range n.active {
 		f.rate = 0
-		finite := false
-		for _, l := range f.links {
-			if math.IsInf(l.Bandwidth, 1) {
-				continue
-			}
-			finite = true
-			st := states[l]
-			if st == nil {
-				st = &linkState{residual: l.Bandwidth}
-				states[l] = st
-			}
-			st.unfrozen++
-		}
-		if !finite {
+		if len(f.finiteLinks) == 0 {
 			// Contention-free flow: every link it crosses has infinite
 			// bandwidth, so no saturation event can ever freeze it.
 			// Freeze it at infinite rate upfront instead of letting it
 			// linger unfrozen through the filling loop.
 			f.rate = math.Inf(1)
-			frozen[f] = true
+			f.fillFrozen = true
 			continue
+		}
+		f.fillFrozen = false
+		for _, l := range f.finiteLinks {
+			if l.fillEpoch != epoch {
+				l.fillEpoch = epoch
+				l.residual = l.Bandwidth
+				l.unfrozen = 0
+				touched = append(touched, l)
+			}
+			l.unfrozen++
 		}
 		unfrozenCount++
 	}
 	for unfrozenCount > 0 {
 		delta := math.Inf(1)
-		for _, st := range states {
-			if st.unfrozen == 0 {
+		for _, l := range touched {
+			if l.unfrozen == 0 {
 				continue
 			}
-			if d := st.residual / float64(st.unfrozen); d < delta {
+			if d := l.residual / float64(l.unfrozen); d < delta {
 				delta = d
 			}
 		}
@@ -537,86 +724,58 @@ func (n *Network) recompute() {
 			// unfrozen count > 0), but guard so a future edit cannot
 			// turn this loop into a spin.
 			for _, f := range n.active {
-				if !frozen[f] {
+				if !f.fillFrozen {
 					f.rate = math.Inf(1)
-					frozen[f] = true
+					f.fillFrozen = true
 					unfrozenCount--
 				}
 			}
 			break
 		}
 		for _, f := range n.active {
-			if !frozen[f] {
+			if !f.fillFrozen {
 				f.rate += delta
 			}
 		}
-		for _, st := range states {
-			if st.unfrozen > 0 {
-				st.residual -= delta * float64(st.unfrozen)
+		for _, l := range touched {
+			if l.unfrozen > 0 {
+				l.residual -= delta * float64(l.unfrozen)
 			}
 		}
 		// Freeze flows crossing any saturated link.
 		for _, f := range n.active {
-			if frozen[f] {
+			if f.fillFrozen {
 				continue
 			}
-			for _, l := range f.links {
-				st := states[l]
-				if st != nil && st.residual <= rateEpsilon*l.Bandwidth {
-					frozen[f] = true
+			for _, l := range f.finiteLinks {
+				if l.residual <= rateEpsilon*l.Bandwidth {
+					f.fillFrozen = true
 					unfrozenCount--
 					break
 				}
 			}
 		}
-		for _, st := range states {
-			st.unfrozen = 0
+		for _, l := range touched {
+			l.unfrozen = 0
 		}
 		for _, f := range n.active {
-			if frozen[f] {
+			if f.fillFrozen {
 				continue
 			}
-			for _, l := range f.links {
-				if st := states[l]; st != nil {
-					st.unfrozen++
-				}
+			for _, l := range f.finiteLinks {
+				l.unfrozen++
 			}
 		}
 	}
-
-	// Reschedule completions at the new rates. Iterating the active
-	// slice in order makes same-time completion events tie-break by
-	// activation order — the (time, seq) contract.
-	now := n.sched.Now()
-	for _, f := range n.active {
-		if f.complete != nil {
-			n.sched.Cancel(f.complete)
-			f.complete = nil
-		}
-		if f.rate <= 0 {
-			// Starved flow (can only happen transiently); it will be
-			// rescheduled on the next recompute.
-			continue
-		}
-		var eta sim.Time
-		if math.IsInf(f.rate, 1) {
-			eta = now
-		} else {
-			eta = now + f.remaining/f.rate
-		}
-		g := f
-		f.complete = n.sched.At(eta, func() { n.finish(g) })
-	}
-
-	if n.tracer != nil || n.telemetry {
-		n.observeRates(now)
-	}
+	n.touched = touched
 }
 
 // observeRates runs after every rate recomputation when telemetry or
 // tracing is on: it updates per-link peak utilization and emits
-// changed link-utilization and flow-rate samples to the tracer. All
-// iteration is over ordered slices, keeping traces deterministic.
+// changed link-utilization and flow-rate samples to the tracer. Rates
+// are accumulated per link by iterating the active slice in activation
+// order — exactly the order the per-link flow lists (since removed)
+// were maintained in, so the float sums are unchanged bit-for-bit.
 func (n *Network) observeRates(now sim.Time) {
 	if n.lastUtil == nil {
 		n.lastUtil = make([]float64, len(n.links))
@@ -624,15 +783,23 @@ func (n *Network) observeRates(now sim.Time) {
 	for len(n.lastUtil) < len(n.links) {
 		n.lastUtil = append(n.lastUtil, 0)
 	}
+	if cap(n.rateSum) < len(n.links) {
+		n.rateSum = make([]float64, len(n.links))
+	}
+	rateSum := n.rateSum[:len(n.links)]
+	for i := range rateSum {
+		rateSum[i] = 0
+	}
+	for _, f := range n.active {
+		for _, l := range f.finiteLinks {
+			rateSum[l.ID] += f.rate
+		}
+	}
 	for _, l := range n.links {
 		if math.IsInf(l.Bandwidth, 1) {
 			continue
 		}
-		sum := 0.0
-		for _, f := range l.flows {
-			sum += f.rate
-		}
-		util := sum / l.Bandwidth
+		util := rateSum[l.ID] / l.Bandwidth
 		if util > l.peakUtil {
 			l.peakUtil = util
 		}

@@ -11,6 +11,16 @@ import (
 
 const tol = 1e-6
 
+// crossesLink reports whether the flow's deduplicated route contains l.
+func crossesLink(f *Flow, l *Link) bool {
+	for _, fl := range f.links {
+		if fl == l {
+			return true
+		}
+	}
+	return false
+}
+
 func approx(got, want float64) bool {
 	if want == 0 {
 		return math.Abs(got) < tol
@@ -410,7 +420,10 @@ func TestPropertyMaxMinInvariants(t *testing.T) {
 					continue
 				}
 				localMax := true
-				for _, other := range l.flows {
+				for _, other := range flows {
+					if other.state != FlowActive || !crossesLink(other, l) {
+						continue
+					}
 					if other.rate > fl.rate*(1+1e-6) {
 						localMax = false
 						break

@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"math"
+
+	"github.com/wafernet/fred/internal/sim"
+)
+
+// This file keeps the straightforward waterfilling implementation the
+// incremental engine (netsim.go) replaced: per-recompute maps, a full
+// progressive-filling pass on every active-set change, and
+// cancel-and-recreate completion events. It exists solely as the
+// differential-testing oracle — useReferenceEngine switches a network
+// onto it, and the property tests in differential_test.go assert that
+// both engines produce bit-identical rates, completion times and
+// orders, and link byte counters over randomized churn. It is not
+// reachable from production paths.
+
+// useReferenceEngine routes all future rate recomputations of this
+// network through referenceRecompute. It must be called before any
+// flow is started and cannot be undone: the two engines keep different
+// completion-event lifecycles, so switching mid-run is unsupported.
+func (n *Network) useReferenceEngine() {
+	n.recomputeFn = n.referenceRecompute
+}
+
+// referenceRecompute runs progressive filling over the active flows
+// and reschedules every completion event, allocating fresh scratch
+// maps and events each pass — the original engine, verbatim.
+func (n *Network) referenceRecompute() {
+	n.dirty = false
+	n.settle()
+	n.fillNeeded = false
+	n.freePending = n.freePending[:0]
+
+	// Progressive filling: raise all unfrozen flows' rates together;
+	// whenever a link saturates, freeze its flows at the current rate.
+	type linkState struct {
+		residual float64
+		unfrozen int
+	}
+	states := make(map[*Link]*linkState)
+	frozen := make(map[*Flow]bool, len(n.active))
+	unfrozenCount := 0
+	for _, f := range n.active {
+		f.rate = 0
+		finite := false
+		for _, l := range f.links {
+			if math.IsInf(l.Bandwidth, 1) {
+				continue
+			}
+			finite = true
+			st := states[l]
+			if st == nil {
+				st = &linkState{residual: l.Bandwidth}
+				states[l] = st
+			}
+			st.unfrozen++
+		}
+		if !finite {
+			// Contention-free flow: freeze at infinite rate upfront.
+			f.rate = math.Inf(1)
+			frozen[f] = true
+			continue
+		}
+		unfrozenCount++
+	}
+	for unfrozenCount > 0 {
+		delta := math.Inf(1)
+		for _, st := range states {
+			if st.unfrozen == 0 {
+				continue
+			}
+			if d := st.residual / float64(st.unfrozen); d < delta {
+				delta = d
+			}
+		}
+		if math.IsInf(delta, 1) {
+			for _, f := range n.active {
+				if !frozen[f] {
+					f.rate = math.Inf(1)
+					frozen[f] = true
+					unfrozenCount--
+				}
+			}
+			break
+		}
+		for _, f := range n.active {
+			if !frozen[f] {
+				f.rate += delta
+			}
+		}
+		for _, st := range states {
+			if st.unfrozen > 0 {
+				st.residual -= delta * float64(st.unfrozen)
+			}
+		}
+		// Freeze flows crossing any saturated link.
+		for _, f := range n.active {
+			if frozen[f] {
+				continue
+			}
+			for _, l := range f.links {
+				st := states[l]
+				if st != nil && st.residual <= rateEpsilon*l.Bandwidth {
+					frozen[f] = true
+					unfrozenCount--
+					break
+				}
+			}
+		}
+		for _, st := range states {
+			st.unfrozen = 0
+		}
+		for _, f := range n.active {
+			if frozen[f] {
+				continue
+			}
+			for _, l := range f.links {
+				if st := states[l]; st != nil {
+					st.unfrozen++
+				}
+			}
+		}
+	}
+
+	// Reschedule completions at the new rates. Iterating the active
+	// slice in order makes same-time completion events tie-break by
+	// activation order — the (time, seq) contract.
+	now := n.sched.Now()
+	for _, f := range n.active {
+		if f.complete != nil {
+			n.sched.Cancel(f.complete)
+			f.complete = nil
+		}
+		if f.rate <= 0 {
+			continue
+		}
+		var eta sim.Time
+		if math.IsInf(f.rate, 1) {
+			eta = now
+		} else {
+			eta = now + f.remaining/f.rate
+		}
+		g := f
+		f.complete = n.sched.At(eta, func() { n.finish(g) })
+	}
+
+	if n.tracer != nil || n.telemetry {
+		n.observeRates(now)
+	}
+}

@@ -99,6 +99,69 @@ func TestWaterfillInvariantsRandomized(t *testing.T) {
 	}
 }
 
+// The same invariants must hold on the incremental path: after an
+// initial filling pass, churn the active set — cancel a third of the
+// flows, add new ones (some contention-free so the filling pass is
+// skipped for them) — and re-check on the resulting state, which was
+// produced by skip-fill bookkeeping and in-place event re-timing
+// rather than a from-scratch engine.
+func TestWaterfillInvariantsAfterChurn(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		s := sim.NewScheduler()
+		net := New(s)
+
+		nodes := make([]NodeID, 2+rng.Intn(8))
+		for i := range nodes {
+			nodes[i] = net.AddNode("n")
+		}
+		nLinks := 2 + rng.Intn(12)
+		links := make([]LinkID, nLinks)
+		for i := range links {
+			bw := math.Inf(1)
+			if rng.Float64() < 0.8 {
+				bw = 1 + rng.Float64()*1e3
+			}
+			links[i] = net.AddLink(nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))], bw, 0, "l")
+		}
+		route := func() []LinkID {
+			perm := rng.Perm(nLinks)
+			r := make([]LinkID, 0, 4)
+			for _, li := range perm[:1+rng.Intn(min(4, nLinks))] {
+				r = append(r, links[li])
+			}
+			return r
+		}
+
+		flows := make([]*Flow, 8+rng.Intn(8))
+		for i := range flows {
+			flows[i] = net.StartFlow(FlowSpec{Links: route(), Bytes: 1e15, Latency: 0})
+		}
+		s.RunUntil(0)
+		// Churn at t=1: cancel a third, start replacements.
+		s.At(1, func() {
+			for i, f := range flows {
+				if i%3 == 0 {
+					f.Cancel()
+				}
+			}
+			for i := 0; i < 4; i++ {
+				flows = append(flows, net.StartFlow(FlowSpec{Links: route(), Bytes: 1e15, Latency: 0}))
+			}
+		})
+		s.At(2, func() {
+			live := make([]*Flow, 0, len(flows))
+			for _, f := range flows {
+				if f.State() == FlowActive {
+					live = append(live, f)
+				}
+			}
+			s.After(0, sampleInvariants(t, seed, net, links, live))
+		})
+		s.RunUntil(3)
+	}
+}
+
 // sampleInvariants returns the event callback checking the max-min
 // invariants at the instant after the filling pass.
 func sampleInvariants(t *testing.T, seed int64, net *Network, links []LinkID, flows []*Flow) func() {

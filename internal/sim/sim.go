@@ -39,6 +39,11 @@ func (e *Event) When() Time { return e.when }
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.cancel }
 
+// Pending reports whether the event is currently queued to fire. An
+// event that has fired, or been canceled, is not pending (it may be
+// re-armed with Reschedule).
+func (e *Event) Pending() bool { return e.index >= 0 }
+
 type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }
@@ -123,6 +128,33 @@ func (s *Scheduler) After(d Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: negative delay %g", d))
 	}
 	return s.At(s.now+d, fn)
+}
+
+// Reschedule re-arms e to fire at absolute time t with a fresh
+// insertion sequence, exactly as if the event had been Canceled and a
+// new one created with At(t, fn) for the same callback — but without
+// allocating. Pending events are moved in place; fired or canceled
+// events are re-enqueued. The event must have been produced by At or
+// After. Hot paths that re-time one event per state change (the
+// network simulator's flow-completion events) use this to stay
+// allocation-free while preserving the (time, seq) tie-break order a
+// cancel-and-recreate would produce.
+func (s *Scheduler) Reschedule(e *Event, t Time) {
+	if e == nil || e.fn == nil {
+		panic("sim: Reschedule of nil or uninitialized event")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: rescheduling event at %g before now %g", t, s.now))
+	}
+	e.when = t
+	e.seq = s.seq
+	s.seq++
+	e.cancel = false
+	if e.index >= 0 {
+		heap.Fix(&s.queue, e.index)
+	} else {
+		heap.Push(&s.queue, e)
+	}
 }
 
 // Cancel removes a pending event. Canceling an already-fired or

@@ -351,6 +351,162 @@ func TestRunUntilHaltLeavesClockAtEvent(t *testing.T) {
 	}
 }
 
+func TestPendingLifecycle(t *testing.T) {
+	s := NewScheduler()
+	e := s.At(1, func() {})
+	if !e.Pending() {
+		t.Fatal("freshly scheduled event not pending")
+	}
+	s.Cancel(e)
+	if e.Pending() {
+		t.Fatal("canceled event still pending")
+	}
+	f := s.At(2, func() {})
+	s.Run()
+	if f.Pending() {
+		t.Fatal("fired event still pending")
+	}
+}
+
+func TestRescheduleMovesPendingEvent(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	e := s.At(5, func() { fired = append(fired, s.Now()) })
+	s.At(1, func() { s.Reschedule(e, 3) })
+	s.Run()
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("rescheduled event fired at %v, want [3]", fired)
+	}
+}
+
+func TestRescheduleRearmsFiredAndCanceledEvents(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	e := s.At(1, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Fatalf("fired %d, want 1", count)
+	}
+	s.Reschedule(e, 2)
+	if !e.Pending() {
+		t.Fatal("re-armed event not pending")
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("re-armed event: fired %d, want 2", count)
+	}
+	s.Cancel(e)
+	s.Reschedule(e, 3)
+	if e.Canceled() {
+		t.Fatal("Reschedule left the cancel flag set")
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("re-armed canceled event: fired %d, want 3", count)
+	}
+}
+
+// Reschedule must be indistinguishable from Cancel + At for tie-break
+// purposes: the moved event takes a fresh insertion sequence, so it
+// fires after any event already queued at the same time.
+func TestRescheduleTakesFreshSequence(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	e := s.At(5, func() { order = append(order, "moved") })
+	s.At(5, func() { order = append(order, "staying") })
+	s.At(1, func() { s.Reschedule(e, 5) })
+	s.Run()
+	if len(order) != 2 || order[0] != "staying" || order[1] != "moved" {
+		t.Fatalf("order = %v, want [staying moved]", order)
+	}
+}
+
+func TestReschedulePastPanics(t *testing.T) {
+	s := NewScheduler()
+	e := s.At(20, func() {})
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("rescheduling into the past did not panic")
+			}
+		}()
+		s.Reschedule(e, 5)
+	})
+	s.Run()
+}
+
+func TestRescheduleNilPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Error("Reschedule(nil) did not panic")
+		}
+	}()
+	s.Reschedule(nil, 1)
+}
+
+// Property: a sequence of Reschedule calls behaves exactly like the
+// equivalent Cancel + At sequence — same firing times, same tie-break
+// order — across random move patterns.
+func TestPropertyRescheduleMatchesCancelRecreate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12
+		moves := 24
+		type op struct {
+			idx int
+			at  Time
+		}
+		ops := make([]op, moves)
+		for i := range ops {
+			ops[i] = op{idx: rng.Intn(n), at: Time(10 + rng.Intn(10))}
+		}
+		initial := make([]Time, n)
+		for i := range initial {
+			initial[i] = Time(10 + rng.Intn(10))
+		}
+		run := func(useReschedule bool) []int {
+			s := NewScheduler()
+			var order []int
+			events := make([]*Event, n)
+			fns := make([]func(), n)
+			for i := 0; i < n; i++ {
+				i := i
+				fns[i] = func() { order = append(order, i) }
+				events[i] = s.At(initial[i], fns[i])
+			}
+			for i, o := range ops {
+				o := o
+				i := i
+				s.At(Time(i)/Time(moves)*9, func() {
+					if useReschedule {
+						s.Reschedule(events[o.idx], o.at)
+					} else {
+						s.Cancel(events[o.idx])
+						events[o.idx] = s.At(o.at, fns[o.idx])
+					}
+				})
+			}
+			s.Run()
+			return order
+		}
+		a := run(true)
+		b := run(false)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSetEventHook(t *testing.T) {
 	s := NewScheduler()
 	type sample struct {
