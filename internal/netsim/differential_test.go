@@ -263,6 +263,54 @@ func TestDifferentialEnginesBitIdentical(t *testing.T) {
 	}
 }
 
+// TestDifferentialKeptEventTie engineers the cross-pass tie the random
+// scenarios are unlikely to hit: flow B's completion event is already
+// scheduled at t=7 when a recompute moves flow A's ETA to a bitwise-
+// equal 7. Both engines must then fire A before B — A activated first,
+// so its re-armed event must carry the earlier insertion sequence —
+// which requires the incremental engine to reschedule even events
+// whose ETA is unchanged rather than keeping their old sequence.
+func TestDifferentialKeptEventTie(t *testing.T) {
+	run := func(reference bool) []string {
+		s := sim.NewScheduler()
+		net := New(s)
+		if reference {
+			net.useReferenceEngine()
+		}
+		a, b := net.AddNode("a"), net.AddNode("b")
+		l1 := net.AddLink(a, b, 2, 0, "l1")
+		l2 := net.AddLink(a, b, 1, 0, "l2")
+		var order []string
+		done := func(name string) func(*Flow) {
+			return func(*Flow) { order = append(order, name) }
+		}
+		// A alone on l1: rate 2, ETA 4.5. B alone on l2: rate 1, ETA 7.
+		net.StartFlow(FlowSpec{Links: []LinkID{l1}, Bytes: 9, Latency: 0, Done: done("A"), Label: "A"})
+		net.StartFlow(FlowSpec{Links: []LinkID{l2}, Bytes: 7, Latency: 0, Done: done("B"), Label: "B"})
+		// At t=2, C joins l1: A has 5 bytes left and halves to rate 1,
+		// so its new ETA is 2+5/1 = 7, bit-equal to B's scheduled event.
+		s.At(2, func() {
+			net.StartFlow(FlowSpec{Links: []LinkID{l1}, Bytes: 100, Latency: 0, Done: done("C"), Label: "C"})
+		})
+		s.RunUntil(1e6)
+		return order
+	}
+	opt := run(false)
+	ref := run(true)
+	want := []string{"A", "B", "C"}
+	if len(opt) != len(want) || len(ref) != len(want) {
+		t.Fatalf("completion counts: optimized %v, reference %v, want %v", opt, ref, want)
+	}
+	for i := range want {
+		if ref[i] != want[i] {
+			t.Fatalf("reference finish order %v, want %v", ref, want)
+		}
+		if opt[i] != ref[i] {
+			t.Fatalf("optimized finish order %v diverges from reference %v", opt, ref)
+		}
+	}
+}
+
 // The steady-state recompute — settle, filling pass, completion
 // re-timing — must not allocate: scratch lives in links and flows,
 // and completion events are moved in place.

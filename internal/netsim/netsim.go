@@ -611,11 +611,11 @@ func (n *Network) markDirty() {
 // detached since the last pass — nothing else can change any rate.
 // Pure contention-free churn (flows whose every link has infinite
 // bandwidth) freezes the new arrivals at +Inf directly. Completion
-// events are then re-timed in place with a fresh insertion sequence,
-// reproducing exactly the (time, seq) order the previous
-// cancel-everything-and-reschedule implementation produced; an event
-// whose ETA is bit-identical to its currently scheduled time is left
-// untouched. A completion that still fires for a flow no longer active
+// events are then re-timed in place with a fresh insertion sequence —
+// unconditionally, even when the new ETA is bit-identical to the
+// scheduled one — reproducing exactly the (time, seq) order the
+// previous cancel-everything-and-reschedule implementation produced.
+// A completion that still fires for a flow no longer active
 // (stale by construction only if a future edit breaks the cancel
 // bookkeeping) is discarded at fire time.
 func (n *Network) recompute() {
@@ -631,6 +631,9 @@ func (n *Network) recompute() {
 				f.rate = math.Inf(1)
 			}
 		}
+	}
+	for i := range n.freePending {
+		n.freePending[i] = nil // release flow references for GC
 	}
 	n.freePending = n.freePending[:0]
 
@@ -650,8 +653,7 @@ func (n *Network) recompute() {
 		} else {
 			eta = now + f.remaining/f.rate
 		}
-		switch e := f.complete; {
-		case e == nil:
+		if e := f.complete; e == nil {
 			g := f
 			f.complete = n.sched.At(eta, func() {
 				if g.state != FlowActive {
@@ -659,10 +661,15 @@ func (n *Network) recompute() {
 				}
 				n.finish(g)
 			})
-		case e.Pending() && e.When() == eta:
-			// Lazy: the scheduled completion is already exact; skip the
-			// heap traffic (common in same-timestamp mutation bursts).
-		default:
+		} else {
+			// Always re-arm, even when the ETA is unchanged: Reschedule
+			// consumes a fresh insertion sequence in activation order,
+			// which is what breaks same-time ties exactly as the
+			// reference cancel-and-recreate engine does. Skipping
+			// bit-identical ETAs would keep a stale sequence and could
+			// fire a kept event ahead of a later-activated flow whose
+			// new ETA ties with it. heap.Fix on an unchanged key is
+			// cheap, so this stays allocation-free.
 			n.sched.Reschedule(e, eta)
 		}
 	}
