@@ -45,6 +45,12 @@
 //	                  summarize it with cmd/fredtrace
 //	-linkstats        append per-training-run top-10 link hotspot
 //	                  tables (honours -csv)
+//	-metrics f.json   write a versioned fred-metrics artifact (run
+//	                  manifest + every counter/gauge/histogram series:
+//	                  flow counts, per-link utilization distributions,
+//	                  training breakdowns, per-NPU attribution); compare
+//	                  two artifacts with cmd/fredreport. Byte-identical
+//	                  at every -parallel N.
 //	-cpuprofile f     write a runtime/pprof CPU profile of the
 //	                  simulator process itself
 package main
@@ -56,6 +62,7 @@ import (
 	"runtime/pprof"
 
 	"github.com/wafernet/fred/internal/experiments"
+	"github.com/wafernet/fred/internal/metrics"
 	"github.com/wafernet/fred/internal/parallelism"
 	"github.com/wafernet/fred/internal/report"
 	"github.com/wafernet/fred/internal/trace"
@@ -74,6 +81,7 @@ func main() {
 	parallel := 0
 	tracePath := ""
 	linkStats := false
+	metricsPath := ""
 	cpuProfile := ""
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	fs.BoolVar(&includeAB, "ab", false, "include Fred-A and Fred-B in fig10")
@@ -81,6 +89,7 @@ func main() {
 	fs.IntVar(&parallel, "parallel", 0, "worker-pool size for independent cells (0 = GOMAXPROCS, 1 = sequential)")
 	fs.StringVar(&tracePath, "trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	fs.BoolVar(&linkStats, "linkstats", false, "report top-10 link hotspots per training run")
+	fs.StringVar(&metricsPath, "metrics", "", "write a fred-metrics JSON artifact (manifest + all series) to this file")
 	fs.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile of the simulator to this file")
 	if err := fs.Parse(flag.Args()[1:]); err != nil {
 		os.Exit(2)
@@ -96,6 +105,9 @@ func main() {
 	}
 	if linkStats {
 		session.CollectLinkStats(true)
+	}
+	if metricsPath != "" {
+		session.CollectMetrics(true)
 	}
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
@@ -210,6 +222,25 @@ func main() {
 	if linkStats {
 		emit(session.LinkStatsTables()...)
 	}
+	if metricsPath != "" {
+		// The manifest records what was simulated, never how the work
+		// was scheduled (-parallel, file paths), so artifacts from any
+		// pool size compare byte-for-byte.
+		command := cmd
+		if includeAB {
+			command += " -ab"
+		}
+		art := session.Metrics().Export(metrics.Manifest{
+			Tool:    "fredsim",
+			Command: command,
+		})
+		if err := art.WriteFile(metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "fredsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fredsim: wrote %d metric series to %s\n",
+			len(art.Series), metricsPath)
+	}
 	if rec != nil {
 		if err := rec.WriteFile(tracePath); err != nil {
 			fmt.Fprintln(os.Stderr, "fredsim:", err)
@@ -222,7 +253,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fredsim <experiment> [-ab] [-csv] [-parallel N] [-trace out.json]
-               [-linkstats] [-cpuprofile out.pprof]
+               [-linkstats] [-metrics out.json] [-cpuprofile out.pprof]
 
 experiments: fig1 fig2 fig9 fig10 fig11a fig11b meshio placement nonaligned
              scaling inference crossover batch profile packets heat hw

@@ -2,7 +2,10 @@
 // fredsim or fredtrain with -trace, so traces are usable without a
 // browser: it prints the longest collective-operation spans, the
 // busiest links (time-weighted mean utilization integrated from the
-// counter series), and per-stage flow-lifecycle totals.
+// counter series), per-stage flow-lifecycle totals, and per-track
+// counter summaries (sample count, min, mean, max of every counter
+// series in the trace — link utilization, scheduler event counts, and
+// any future counters alike).
 //
 // Usage:
 //
@@ -93,6 +96,15 @@ func summarize(data []byte, k int) ([]*report.Table, error) {
 	linkSamples := make(map[string][]sample)
 	linkOrder := []string{}
 
+	// Counter-track aggregation over every "C" event: one row per
+	// (track, series) pair, whatever the series is named.
+	type counterAgg struct {
+		track, series string
+		count         int
+		min, max, sum float64
+	}
+	counters := make(map[string]*counterAgg)
+
 	for _, e := range tf.TraceEvents {
 		if e.Ts > maxTs {
 			maxTs = e.Ts
@@ -121,6 +133,26 @@ func summarize(data []byte, k int) ([]*report.Table, error) {
 					linkOrder = append(linkOrder, e.Name)
 				}
 				linkSamples[e.Name] = append(linkSamples[e.Name], sample{e.Ts, u})
+			}
+			for series, raw := range e.Args {
+				v, ok := raw.(float64)
+				if !ok {
+					continue
+				}
+				key := e.Name + "\x00" + series
+				agg := counters[key]
+				if agg == nil {
+					agg = &counterAgg{track: e.Name, series: series, min: v, max: v}
+					counters[key] = agg
+				}
+				agg.count++
+				agg.sum += v
+				if v < agg.min {
+					agg.min = v
+				}
+				if v > agg.max {
+					agg.max = v
+				}
 			}
 		}
 	}
@@ -233,5 +265,29 @@ func summarize(data []byte, k int) ([]*report.Table, error) {
 		flowTbl.AddRow(name, agg.count, report.FormatSeconds(agg.total/1e6), report.FormatSeconds(agg.longest/1e6))
 	}
 
-	return []*report.Table{commTbl, linkTbl, flowTbl}, nil
+	// Counter-track summaries, sorted by (track, series) so the table
+	// is deterministic regardless of args-map iteration order.
+	var aggs []*counterAgg
+	for _, agg := range counters {
+		aggs = append(aggs, agg)
+	}
+	sort.Slice(aggs, func(i, j int) bool {
+		if aggs[i].track != aggs[j].track {
+			return aggs[i].track < aggs[j].track
+		}
+		return aggs[i].series < aggs[j].series
+	})
+	ctrTbl := &report.Table{
+		Title:  "Counter tracks",
+		Header: []string{"track", "series", "samples", "min", "mean", "max"},
+	}
+	for _, agg := range aggs {
+		ctrTbl.AddRow(agg.track, agg.series, agg.count,
+			fmt.Sprintf("%.4g", agg.min),
+			fmt.Sprintf("%.4g", agg.sum/float64(agg.count)),
+			fmt.Sprintf("%.4g", agg.max))
+	}
+	ctrTbl.AddNote("sample statistics (not time-weighted); %d counter series", len(aggs))
+
+	return []*report.Table{commTbl, linkTbl, flowTbl, ctrTbl}, nil
 }

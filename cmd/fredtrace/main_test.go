@@ -42,10 +42,11 @@ func TestSummarize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 3 {
-		t.Fatalf("got %d tables, want comm/links/flows", len(tables))
+	if len(tables) != 4 {
+		t.Fatalf("got %d tables, want comm/links/flows/counters", len(tables))
 	}
 	comm, links, flows := tables[0].String(), tables[1].String(), tables[2].String()
+	ctrs := tables[3].String()
 
 	// Longest op first, namespaced and bare categories both counted.
 	iRing := strings.Index(comm, "DP ring-allreduce(3)")
@@ -70,6 +71,31 @@ func TestSummarize(t *testing.T) {
 
 	if !strings.Contains(flows, "latency") || !strings.Contains(flows, "active") {
 		t.Fatalf("flow table lacks lifecycle stages:\n%s", flows)
+	}
+
+	// The counter-track table summarizes every counter series: the
+	// 0->1 link has two util samples spanning [0, 1], mean 0.5; the
+	// 1->2 link has a single 0.25 sample.
+	var row01 string
+	for _, line := range strings.Split(ctrs, "\n") {
+		if strings.Contains(line, "mesh 0->1") {
+			row01 = line
+		}
+	}
+	if fields := strings.Fields(row01); len(fields) != 7 ||
+		fields[2] != "util" || fields[3] != "2" || fields[4] != "0" ||
+		fields[5] != "0.5" || fields[6] != "1" {
+		t.Fatalf("counter table lacks aggregated 0->1 row:\n%s", ctrs)
+	}
+	if !strings.Contains(ctrs, "0.25") {
+		t.Fatalf("counter table lacks the single-sample 1->2 row:\n%s", ctrs)
+	}
+	if !strings.Contains(ctrs, "2 counter series") {
+		t.Fatalf("counter table note lacks series count:\n%s", ctrs)
+	}
+	// Rows come out sorted by (track, series).
+	if i01, i12 := strings.Index(ctrs, "mesh 0->1"), strings.Index(ctrs, "mesh 1->2"); i01 > i12 {
+		t.Fatalf("counter table not sorted by track:\n%s", ctrs)
 	}
 }
 

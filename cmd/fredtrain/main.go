@@ -6,7 +6,8 @@
 //
 //	fredtrain [-model t17b] [-system Fred-D] [-mp 3 -dp 3 -pp 2]
 //	          [-batch 16] [-schedule gpipe|1f1b] [-buckets 1] [-profile]
-//	          [-trace out.json] [-linkstats] [-cpuprofile out.pprof]
+//	          [-trace out.json] [-linkstats] [-metrics out.json]
+//	          [-cpuprofile out.pprof]
 //
 // Models: resnet152, t17b, gpt3, t1t.
 // Systems: Baseline, Fred-A, Fred-B, Fred-C, Fred-D.
@@ -14,7 +15,10 @@
 // -trace records the iteration as Chrome trace-event JSON (flow
 // lifecycles, link-utilization counters, one span per collective op)
 // for Perfetto or cmd/fredtrace; -linkstats prints the top-10 link
-// hotspots of the run; -cpuprofile profiles the simulator itself.
+// hotspots of the run; -metrics writes a versioned fred-metrics JSON
+// artifact (run manifest, iteration breakdown, per-class comm profile,
+// per-NPU time attribution, per-link utilization distributions) for
+// cmd/fredreport; -cpuprofile profiles the simulator itself.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 
 	fredapi "github.com/wafernet/fred"
 	"github.com/wafernet/fred/internal/experiments"
+	"github.com/wafernet/fred/internal/metrics"
 	"github.com/wafernet/fred/internal/trace"
 	"github.com/wafernet/fred/internal/training"
 	"github.com/wafernet/fred/internal/workload"
@@ -43,6 +48,7 @@ func main() {
 	profile := flag.Bool("profile", false, "print the per-class communication profile")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	linkStats := flag.Bool("linkstats", false, "print the top-10 link hotspots of the run")
+	metricsPath := flag.String("metrics", "", "write a fred-metrics JSON artifact (manifest + all series) to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 	flag.Parse()
 
@@ -92,6 +98,9 @@ func main() {
 	if *linkStats {
 		session.CollectLinkStats(true)
 	}
+	if *metricsPath != "" {
+		session.CollectMetrics(true)
+	}
 	wafer := session.Build(experiments.System(*system))
 	cfg := training.Config{
 		Wafer:               wafer,
@@ -130,6 +139,25 @@ func main() {
 	fmt.Println()
 	if *profile {
 		fmt.Printf("\ncommunication profile:\n%s", r.Comm)
+	}
+	if *metricsPath != "" {
+		net := wafer.Network()
+		net.FlushMetrics()
+		r.RecordMetrics(net.Metrics())
+		art := session.Metrics().Export(metrics.Manifest{
+			Tool:            "fredtrain",
+			Workload:        m.Name,
+			System:          *system,
+			Strategy:        strat.String(),
+			BatchPerReplica: *batch,
+			Schedule:        sched.String(),
+		})
+		if err := art.WriteFile(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "fredtrain:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fredtrain: wrote %d metric series to %s\n",
+			len(art.Series), *metricsPath)
 	}
 	if *linkStats {
 		fmt.Printf("\n%s", wafer.Network().HotspotTable(

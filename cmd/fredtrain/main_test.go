@@ -1,6 +1,15 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	fredapi "github.com/wafernet/fred"
+	"github.com/wafernet/fred/internal/experiments"
+	"github.com/wafernet/fred/internal/metrics"
+	"github.com/wafernet/fred/internal/training"
+	"github.com/wafernet/fred/internal/workload"
+)
 
 func TestLookupModel(t *testing.T) {
 	for _, name := range []string{"resnet152", "t17b", "gpt3", "t1t", "RESNET", "Transformer17B"} {
@@ -22,5 +31,63 @@ func TestLookupSchedule(t *testing.T) {
 	}
 	if _, err := lookupSchedule("zero-bubble"); err == nil {
 		t.Error("unknown schedule accepted")
+	}
+}
+
+// trainArtifact runs the fredtrain metrics path (build under a
+// metrics-collecting session, simulate, flush, record, export) for a
+// given worker-pool size and returns the encoded artifact.
+func trainArtifact(t *testing.T, parallel int) []byte {
+	t.Helper()
+	m, _ := lookupModel("t17b")
+	session := experiments.NewSession()
+	session.SetParallel(parallel)
+	session.CollectMetrics(true)
+	wafer := session.Build(experiments.Baseline)
+	r, err := training.Simulate(training.Config{
+		Wafer:               wafer,
+		Model:               m,
+		Strategy:            workloadStrategy(m),
+		MinibatchPerReplica: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := wafer.Network()
+	net.FlushMetrics()
+	r.RecordMetrics(net.Metrics())
+	data, err := session.Metrics().Export(metrics.Manifest{
+		Tool:            "fredtrain",
+		Workload:        m.Name,
+		System:          "Baseline",
+		Strategy:        workloadStrategy(m).String(),
+		BatchPerReplica: 16,
+		Schedule:        training.ScheduleGPipe.String(),
+	}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func workloadStrategy(m *workload.Model) fredapi.Strategy {
+	return fredapi.Strategy{MP: m.DefaultMP, DP: m.DefaultDP, PP: m.DefaultPP}
+}
+
+// The fredtrain golden gate: the exported metrics artifact is
+// byte-identical regardless of the session's worker-pool size and
+// across repeated runs.
+func TestTrainMetricsByteIdentical(t *testing.T) {
+	seq := trainArtifact(t, 1)
+	if !bytes.Contains(seq, []byte(`"schema": "fred-metrics/v1"`)) {
+		t.Fatalf("artifact missing schema header:\n%.200s", seq)
+	}
+	if !bytes.Contains(seq, []byte("npu/000/idle_s")) {
+		t.Fatal("artifact missing per-NPU attribution series")
+	}
+	for _, n := range []int{2, 4} {
+		if got := trainArtifact(t, n); !bytes.Equal(got, seq) {
+			t.Fatalf("pool size %d artifact differs from sequential", n)
+		}
 	}
 }

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/wafernet/fred/internal/metrics"
+	"github.com/wafernet/fred/internal/parallelism"
+	"github.com/wafernet/fred/internal/workload"
+)
+
+// metricsArtifactOf runs Figure 2 with metrics collection at a given
+// pool size and exports the merged registry.
+func metricsArtifactOf(t *testing.T, parallel int) []byte {
+	t.Helper()
+	s := NewSession()
+	s.SetParallel(parallel)
+	s.CollectMetrics(true)
+	s.Figure2()
+	data, err := s.Metrics().Export(metrics.Manifest{Tool: "fredsim", Command: "fig2"}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// The golden gate of the metrics subsystem: a metrics-enabled figure
+// driver exports byte-identical artifacts at every -parallel pool
+// size. Cells collect into private registries that merge in reserved
+// slot order, so completion order must not leak into the artifact.
+func TestMetricsParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs Figure 2 three times")
+	}
+	seq := metricsArtifactOf(t, 1)
+	if len(seq) == 0 || !bytes.Contains(seq, []byte("train/total_s")) {
+		t.Fatalf("sequential artifact missing training series:\n%.400s", seq)
+	}
+	for _, n := range []int{2, 4} {
+		if got := metricsArtifactOf(t, n); !bytes.Equal(got, seq) {
+			t.Fatalf("-parallel %d metrics artifact differs from sequential", n)
+		}
+	}
+}
+
+// RunTraining with metrics on records the per-run series into the
+// session registry: the merged registry carries network counters,
+// the training breakdown and per-NPU attribution.
+func TestSessionCollectMetrics(t *testing.T) {
+	s := NewSession()
+	s.CollectMetrics(true)
+	r := s.RunTraining(Baseline, workload.Transformer17B(),
+		parallelism.Strategy{MP: 3, DP: 3, PP: 2}, 16)
+	m := s.Metrics()
+	if got := m.Lookup("train/total_s"); got == nil || got.Value() != r.Total {
+		t.Fatalf("train/total_s = %v, want %g", got, r.Total)
+	}
+	if got := m.Lookup("net/flows_completed"); got == nil || got.Value() <= 0 {
+		t.Fatal("no completed flows recorded")
+	}
+	if got := m.Lookup("npu/000/compute_s"); got == nil {
+		t.Fatal("per-NPU attribution series missing from session registry")
+	}
+	// Histogram weights cover the whole horizon: at least one link
+	// distribution exists with positive total weight.
+	found := false
+	for _, series := range m.Series() {
+		if series.Kind() == metrics.KindHistogram && series.Count() > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no link utilization distribution with weight")
+	}
+	// Disabling resets collected state.
+	s.CollectMetrics(false)
+	if got := s.Metrics().Series(); len(got) != 0 {
+		t.Fatalf("reset left %d series", len(got))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/wafernet/fred/internal/metrics"
 	"github.com/wafernet/fred/internal/netsim"
 	"github.com/wafernet/fred/internal/parallelism"
 	"github.com/wafernet/fred/internal/report"
@@ -29,19 +30,23 @@ import (
 // sequence are mutex-guarded), except while a tracer is attached:
 // tracers are single-goroutine by contract (see trace.Tracer).
 type Session struct {
-	tracer    trace.Tracer
-	linkStats bool
-	parallel  int
+	tracer         trace.Tracer
+	linkStats      bool
+	collectMetrics bool
+	parallel       int
 
 	mu       sync.Mutex
 	buildSeq int
 
-	linkTables *report.Collector
+	linkTables  *report.Collector
+	metricsColl *metrics.Collector
 }
 
 // NewSession returns a session with observability off and the worker
 // pool sized to GOMAXPROCS.
-func NewSession() *Session { return &Session{linkTables: report.NewCollector()} }
+func NewSession() *Session {
+	return &Session{linkTables: report.NewCollector(), metricsColl: metrics.NewCollector()}
+}
 
 // SetParallel sizes the worker pool used to fan independent cells out:
 // n ≤ 0 means GOMAXPROCS, 1 means sequential. Merged rows and tables
@@ -75,6 +80,23 @@ func (s *Session) CollectLinkStats(on bool) {
 // CollectLinkStats(true), one per training run, in driver cell order
 // regardless of which worker ran each cell.
 func (s *Session) LinkStatsTables() []*report.Table { return s.linkTables.Tables() }
+
+// CollectMetrics toggles metrics collection: every subsequently built
+// system gets a private registry (netsim flow counters and per-link
+// utilization distributions), every RunTraining additionally records
+// its report (iteration breakdown, per-class comm profile, per-NPU
+// attribution) and flushes the network's trailing utilization
+// interval. Enabling resets previously collected registries.
+func (s *Session) CollectMetrics(on bool) {
+	s.collectMetrics = on
+	s.metricsColl = metrics.NewCollector()
+}
+
+// Metrics merges every collected registry in build order — the same
+// deterministic slot scheme as the hotspot tables, so the merged
+// registry (and its exported artifact) is byte-identical at every
+// worker-pool size.
+func (s *Session) Metrics() *metrics.Registry { return s.metricsColl.Merged() }
 
 // workers resolves the effective pool size.
 func (s *Session) workers() int {
@@ -110,12 +132,15 @@ func (s *Session) forEach(n int, fn func(cell int, cs *Session)) {
 	}
 	children := make([]*Session, n)
 	slots := make([]int, n)
+	mslots := make([]int, n)
 	for i := range children {
 		c := NewSession()
 		c.linkStats = s.linkStats
+		c.collectMetrics = s.collectMetrics
 		c.parallel = 1
 		children[i] = c
 		slots[i] = s.linkTables.Reserve()
+		mslots[i] = s.metricsColl.Reserve()
 	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, w)
@@ -131,6 +156,7 @@ func (s *Session) forEach(n int, fn func(cell int, cs *Session)) {
 	wg.Wait()
 	for i, c := range children {
 		s.linkTables.Fill(slots[i], c.LinkStatsTables()...)
+		s.metricsColl.Fill(mslots[i], c.metricsColl.Registries()...)
 	}
 }
 
@@ -152,6 +178,11 @@ func (s *Session) observeNetwork(net *netsim.Network, system System) {
 	if s.linkStats {
 		net.EnableLinkTelemetry()
 	}
+	if s.collectMetrics {
+		reg := metrics.NewRegistry()
+		net.SetMetrics(reg)
+		s.metricsColl.Append(reg)
+	}
 }
 
 // RunTraining simulates one iteration of the model under the strategy
@@ -165,6 +196,11 @@ func (s *Session) RunTraining(sys System, m *workload.Model, strat parallelism.S
 		MinibatchPerReplica: perReplica,
 		Tracer:              s.tracer,
 	})
+	if s.collectMetrics {
+		net := w.Network()
+		net.FlushMetrics()
+		r.RecordMetrics(net.Metrics())
+	}
 	if s.linkStats {
 		title := fmt.Sprintf("Link hotspots: %s, %v on %s", m.Name, strat, sys)
 		s.linkTables.Append(w.Network().HotspotTable(title, 10))

@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Schema is the artifact schema identifier. fredreport accepts any
+// "fred-metrics/*" version and reports cross-version comparisons.
+const Schema = "fred-metrics/v1"
+
+// Manifest identifies the run that produced an artifact: enough to
+// tell whether two artifacts are comparable (same workload, system,
+// parallelism config and engine revision) without re-reading the
+// command lines that produced them.
+type Manifest struct {
+	// Tool is the producing command ("fredsim", "fredtrain", "bench").
+	Tool string `json:"tool"`
+	// Command is the experiment or sub-command that ran. It must not
+	// encode execution-only knobs (worker-pool size, output paths):
+	// artifacts of the same simulation are byte-identical regardless.
+	Command string `json:"command,omitempty"`
+	// Workload and System name the simulated configuration.
+	Workload string `json:"workload,omitempty"`
+	System   string `json:"system,omitempty"`
+	// Strategy is the 3D parallelization strategy, e.g. "MP(3)-DP(3)-PP(2)".
+	Strategy string `json:"strategy,omitempty"`
+	// BatchPerReplica is the per-DP-replica minibatch.
+	BatchPerReplica int `json:"batch_per_replica,omitempty"`
+	// Schedule is the pipeline schedule ("GPipe", "1F1B").
+	Schedule string `json:"schedule,omitempty"`
+	// Seed is the RNG seed for randomized studies; 0 for the fully
+	// deterministic drivers.
+	Seed int64 `json:"seed,omitempty"`
+	// EngineVersion is the simulator revision (metrics.EngineVersion).
+	EngineVersion string `json:"engine_version,omitempty"`
+	// Notes carries free-form context (environment, methodology).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket in an artifact: the weight
+// of observations ≤ LE (and above the previous bound). The overflow
+// bucket is flagged instead of carrying an unencodable +Inf bound.
+type Bucket struct {
+	LE       float64 `json:"le,omitempty"`
+	Overflow bool    `json:"overflow,omitempty"`
+	W        float64 `json:"w"`
+}
+
+// SeriesData is the artifact encoding of one series. Scalar kinds use
+// Value; histograms carry derived statistics plus the sparse non-empty
+// buckets.
+type SeriesData struct {
+	Name      string   `json:"name"`
+	Kind      string   `json:"kind"`
+	Unit      string   `json:"unit,omitempty"`
+	Better    string   `json:"better,omitempty"`
+	Tolerance float64  `json:"tolerance,omitempty"`
+	Value     *float64 `json:"value,omitempty"`
+	Count     float64  `json:"count,omitempty"`
+	Sum       float64  `json:"sum,omitempty"`
+	Min       float64  `json:"min,omitempty"`
+	Max       float64  `json:"max,omitempty"`
+	P50       float64  `json:"p50,omitempty"`
+	P95       float64  `json:"p95,omitempty"`
+	Buckets   []Bucket `json:"buckets,omitempty"`
+}
+
+// Artifact is the versioned machine-readable run record: a manifest
+// plus every registry series, in registration order.
+type Artifact struct {
+	Schema   string       `json:"schema"`
+	Manifest Manifest     `json:"manifest"`
+	Series   []SeriesData `json:"series"`
+}
+
+// Export snapshots the registry into an artifact under the given
+// manifest. The encoding is fully determined by the registry state:
+// series in registration order, histograms as sparse non-empty buckets
+// in bound order.
+func (r *Registry) Export(m Manifest) *Artifact {
+	if m.EngineVersion == "" {
+		m.EngineVersion = EngineVersion
+	}
+	a := &Artifact{Schema: Schema, Manifest: m}
+	for _, s := range r.series {
+		d := SeriesData{
+			Name:      s.name,
+			Kind:      s.kind.String(),
+			Unit:      s.unit,
+			Better:    s.better,
+			Tolerance: s.tolerance,
+		}
+		switch s.kind {
+		case KindCounter, KindGauge:
+			v := s.value
+			d.Value = &v
+		case KindHistogram:
+			d.Count = s.count
+			d.Sum = s.sum
+			d.Min = s.min
+			d.Max = s.max
+			d.P50 = s.Quantile(0.50)
+			d.P95 = s.Quantile(0.95)
+			for i, w := range s.weights {
+				if w == 0 {
+					continue
+				}
+				b := Bucket{W: w}
+				if i < len(s.bounds) {
+					b.LE = s.bounds[i]
+				} else {
+					b.Overflow = true
+				}
+				d.Buckets = append(d.Buckets, b)
+			}
+		}
+		a.Series = append(a.Series, d)
+	}
+	return a
+}
+
+// Encode renders the artifact as indented JSON with a trailing
+// newline. Encoding uses only structs and slices (no maps), so the
+// bytes are a pure function of the artifact.
+func (a *Artifact) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Decode parses an artifact and validates its schema family.
+func Decode(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("metrics: parsing artifact: %w", err)
+	}
+	if !strings.HasPrefix(a.Schema, "fred-metrics/") {
+		return nil, fmt.Errorf("metrics: not a fred-metrics artifact (schema %q)", a.Schema)
+	}
+	return &a, nil
+}
+
+// WriteFile encodes the artifact to a file.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads and validates an artifact from a file.
+func ReadFile(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// Scalar returns the comparable headline value of a series: the value
+// of a counter or gauge, the weighted mean of a histogram.
+func (d *SeriesData) Scalar() float64 {
+	if d.Value != nil {
+		return *d.Value
+	}
+	if d.Count > 0 {
+		return d.Sum / d.Count
+	}
+	return 0
+}

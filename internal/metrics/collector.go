@@ -1,0 +1,67 @@
+package metrics
+
+import "sync"
+
+// Collector accumulates registries produced by concurrent experiment
+// cells while guaranteeing a deterministic merge order — the same
+// slot-reservation pattern as report.Collector: a producer reserves an
+// ordered slot up front (in work-issue order) and fills it whenever
+// its cell completes; Merged folds the slots in reservation order, so
+// the merged registry is independent of completion order and the
+// exported artifact is byte-identical at every worker-pool size.
+//
+// All methods are safe for concurrent use.
+type Collector struct {
+	mu    sync.Mutex
+	slots [][]*Registry
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Reserve allocates the next ordered slot and returns its index.
+func (c *Collector) Reserve() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots = append(c.slots, nil)
+	return len(c.slots) - 1
+}
+
+// Fill appends registries to a previously reserved slot. It may be
+// called several times; registries accumulate within the slot in call
+// order.
+func (c *Collector) Fill(slot int, regs ...*Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots[slot] = append(c.slots[slot], regs...)
+}
+
+// Append reserves a slot and fills it in one step — the sequential
+// producer's convenience.
+func (c *Collector) Append(regs ...*Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots = append(c.slots, regs)
+}
+
+// Registries returns every collected registry, flattened in slot
+// order.
+func (c *Collector) Registries() []*Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*Registry
+	for _, s := range c.slots {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Merged folds every collected registry, in slot order, into a fresh
+// registry.
+func (c *Collector) Merged() *Registry {
+	merged := NewRegistry()
+	for _, r := range c.Registries() {
+		merged.Merge(r)
+	}
+	return merged
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import "testing"
+
+func artifactOf(build func(r *Registry)) *Artifact {
+	r := NewRegistry()
+	build(r)
+	return r.Export(Manifest{Tool: "test"})
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	ref := artifactOf(func(r *Registry) {
+		r.Gauge("lat", "s").SetBetter("lower").Set(100)
+		r.Gauge("tput", "").SetBetter("higher").Set(50)
+		r.Gauge("info", "").Set(1)
+		r.Gauge("tight", "").SetBetter("lower").SetTolerance(0.01).Set(100)
+		r.Gauge("gone", "").Set(3)
+	})
+	cand := artifactOf(func(r *Registry) {
+		r.Gauge("lat", "s").Set(150)    // +50% → regression at 10%
+		r.Gauge("tput", "").Set(49)     // −2% → ok at 10%
+		r.Gauge("info", "").Set(999)    // no direction → info
+		r.Gauge("tight", "").Set(103)   // +3% beyond its own 1% → regression
+		r.Gauge("brandnew", "").Set(42) // candidate-only
+	})
+	deltas := Compare(ref, cand, 0.10)
+	want := map[string]Verdict{
+		"lat": VerdictRegression, "tput": VerdictOK, "info": VerdictInfo,
+		"tight": VerdictRegression, "gone": VerdictMissing, "brandnew": VerdictNew,
+	}
+	if len(deltas) != len(want) {
+		t.Fatalf("%d delta rows, want %d", len(deltas), len(want))
+	}
+	for _, d := range deltas {
+		if d.Verdict != want[d.Name] {
+			t.Errorf("%s verdict = %s, want %s", d.Name, d.Verdict, want[d.Name])
+		}
+	}
+	if got := Regressions(deltas); got != 2 {
+		t.Fatalf("Regressions = %d, want 2", got)
+	}
+	// Rows preserve reference order, then candidate-only rows.
+	order := []string{"lat", "tput", "info", "tight", "gone", "brandnew"}
+	for i, d := range deltas {
+		if d.Name != order[i] {
+			t.Fatalf("row %d = %s, want %s", i, d.Name, order[i])
+		}
+	}
+}
+
+func TestCompareImprovedAndHigher(t *testing.T) {
+	ref := artifactOf(func(r *Registry) {
+		r.Gauge("lat", "s").SetBetter("lower").Set(100)
+		r.Gauge("tput", "").SetBetter("higher").Set(100)
+	})
+	cand := artifactOf(func(r *Registry) {
+		r.Gauge("lat", "s").Set(50)  // −50% → improved
+		r.Gauge("tput", "").Set(500) // +400% → improved
+	})
+	for _, d := range Compare(ref, cand, 0.10) {
+		if d.Verdict != VerdictImproved {
+			t.Errorf("%s verdict = %s, want improved", d.Name, d.Verdict)
+		}
+	}
+	// Better:higher regression.
+	worse := artifactOf(func(r *Registry) {
+		r.Gauge("lat", "s").Set(100)
+		r.Gauge("tput", "").Set(10)
+	})
+	deltas := Compare(ref, worse, 0.10)
+	if deltas[1].Verdict != VerdictRegression {
+		t.Fatalf("tput drop verdict = %s, want regression", deltas[1].Verdict)
+	}
+}
+
+// A zero reference (the zero-allocation gate) compares absolutely: any
+// increase beyond the tolerance regresses, and staying at zero is ok.
+func TestCompareZeroBaseline(t *testing.T) {
+	ref := artifactOf(func(r *Registry) {
+		r.Gauge("allocs", "").SetBetter("lower").SetTolerance(0.25).Set(0)
+	})
+	still := artifactOf(func(r *Registry) { r.Gauge("allocs", "").Set(0) })
+	if d := Compare(ref, still, 0.10)[0]; d.Verdict != VerdictOK || !d.AbsBase {
+		t.Fatalf("0→0 delta = %+v, want ok/absolute", d)
+	}
+	leak := artifactOf(func(r *Registry) { r.Gauge("allocs", "").Set(3) })
+	if d := Compare(ref, leak, 0.10)[0]; d.Verdict != VerdictRegression {
+		t.Fatalf("0→3 verdict = %s, want regression", d.Verdict)
+	}
+}
+
+// Histogram series compare on their scalar (weighted mean).
+func TestCompareHistograms(t *testing.T) {
+	ref := artifactOf(func(r *Registry) {
+		r.Histogram("util", "", UtilBuckets()).SetBetter("lower").Observe(0.5, 10)
+	})
+	cand := artifactOf(func(r *Registry) {
+		r.Histogram("util", "", UtilBuckets()).Observe(0.9, 10)
+	})
+	d := Compare(ref, cand, 0.10)[0]
+	if d.Old != 0.5 || d.New != 0.9 {
+		t.Fatalf("histogram scalars %g→%g, want 0.5→0.9", d.Old, d.New)
+	}
+	if d.Verdict != VerdictRegression {
+		t.Fatalf("verdict = %s, want regression", d.Verdict)
+	}
+}

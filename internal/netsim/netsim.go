@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/wafernet/fred/internal/metrics"
 	"github.com/wafernet/fred/internal/sim"
 	"github.com/wafernet/fred/internal/trace"
 )
@@ -57,6 +58,10 @@ type Link struct {
 	net       *Network
 	bytesDone float64 // cumulative bytes carried, for utilisation reports
 	peakUtil  float64 // max instantaneous utilization (telemetry/tracing only)
+	// utilHist is the link's time-weighted utilization distribution,
+	// registered lazily on the network's metrics registry (SetMetrics)
+	// in link-ID order; nil while metrics are off.
+	utilHist *metrics.Series
 
 	// Progressive-filling scratch, valid only while fillEpoch matches
 	// the network's current pass. Embedding it here replaces the
@@ -228,7 +233,17 @@ type Network struct {
 	flowSeq   uint64
 	tracer    trace.Tracer
 	telemetry bool
-	lastUtil  []float64 // per-link last utilization sample sent to the tracer
+	lastUtil  []float64 // per-link utilization as of the last observe pass
+
+	// Metrics registry (SetMetrics): per-link time-weighted utilization
+	// histograms sampled at rate-recompute boundaries, plus flow/byte
+	// counters. lastObserve marks the start of the interval whose
+	// (piecewise-constant) utilization has not yet been accumulated.
+	metrics         *metrics.Registry
+	lastObserve     sim.Time
+	mFlowsStarted   *metrics.Series
+	mFlowsCompleted *metrics.Series
+	mBytesDelivered *metrics.Series
 
 	name       string // trace namespace (SetName)
 	catFlow    string
@@ -278,6 +293,66 @@ func (n *Network) Tracer() trace.Tracer { return n.tracer }
 // feeding Link.PeakUtil and the TopLinks hotspot report. Byte
 // accounting (Link.BytesCarried, mean utilization) is always on.
 func (n *Network) EnableLinkTelemetry() { n.telemetry = true }
+
+// SetMetrics attaches a metrics registry: the network registers flow
+// and byte counters immediately, and accumulates a time-weighted
+// utilization histogram per finite-bandwidth link, sampled at
+// rate-recompute boundaries (utilization is piecewise-constant between
+// them, so the accumulated distribution is exact up to the last
+// recompute — call FlushMetrics at end of run to settle the final
+// interval). Implies EnableLinkTelemetry so peak utilization is
+// tracked alongside the distribution. A nil registry detaches.
+func (n *Network) SetMetrics(reg *metrics.Registry) {
+	n.metrics = reg
+	if reg == nil {
+		n.mFlowsStarted, n.mFlowsCompleted, n.mBytesDelivered = nil, nil, nil
+		return
+	}
+	n.telemetry = true
+	n.mFlowsStarted = reg.Counter("net/flows_started", "")
+	n.mFlowsCompleted = reg.Counter("net/flows_completed", "")
+	n.mBytesDelivered = reg.Counter("net/bytes_delivered", "B")
+	n.lastObserve = n.sched.Now()
+}
+
+// Metrics returns the attached metrics registry, or nil.
+func (n *Network) Metrics() *metrics.Registry { return n.metrics }
+
+// FlushMetrics settles byte counters and accumulates the utilization
+// interval since the last rate recomputation into the per-link
+// histograms, so distributions cover the full horizon including a
+// trailing idle (or steady-state) tail. Call it when a run is over,
+// before exporting the registry. A no-op without SetMetrics.
+func (n *Network) FlushMetrics() {
+	if n.metrics == nil {
+		return
+	}
+	n.settle()
+	n.accumUtil(n.sched.Now())
+}
+
+// accumUtil charges the utilization that held over [lastObserve, now)
+// — the per-link values of the last observe pass — to the link
+// histograms, registering them on first use in link-ID order.
+func (n *Network) accumUtil(now sim.Time) {
+	dt := now - n.lastObserve
+	if dt > 0 {
+		for _, l := range n.links {
+			if math.IsInf(l.Bandwidth, 1) {
+				continue
+			}
+			if l.utilHist == nil {
+				l.utilHist = n.metrics.Histogram(n.linkPrefix+l.Name+"/util", "", metrics.UtilBuckets())
+			}
+			u := 0.0
+			if int(l.ID) < len(n.lastUtil) {
+				u = n.lastUtil[l.ID]
+			}
+			l.utilHist.Observe(u, dt)
+		}
+	}
+	n.lastObserve = now
+}
 
 // AddNode registers a node and returns its ID.
 func (n *Network) AddNode(name string) NodeID {
@@ -343,6 +418,9 @@ func (n *Network) StartFlow(spec FlowSpec) *Flow {
 		activeIdx:  -1,
 	}
 	n.flowSeq++
+	if n.mFlowsStarted != nil {
+		n.mFlowsStarted.Add(1)
+	}
 	lat := spec.Latency
 	if lat < 0 {
 		lat = 0
@@ -555,6 +633,10 @@ func (n *Network) finish(f *Flow) {
 	f.state = FlowDone
 	f.remaining = 0
 	f.finished = n.sched.Now()
+	if n.mFlowsCompleted != nil {
+		n.mFlowsCompleted.Add(1)
+		n.mBytesDelivered.Add(f.total)
+	}
 	if n.tracer != nil {
 		n.tracer.AsyncInstant(n.catFlow, "done", f.id, f.finished,
 			trace.String("label", f.label), trace.Float("bytes", f.total))
@@ -674,7 +756,7 @@ func (n *Network) recompute() {
 		}
 	}
 
-	if n.tracer != nil || n.telemetry {
+	if n.tracer != nil || n.telemetry || n.metrics != nil {
 		n.observeRates(now)
 	}
 }
@@ -790,6 +872,12 @@ func (n *Network) observeRates(now sim.Time) {
 	for len(n.lastUtil) < len(n.links) {
 		n.lastUtil = append(n.lastUtil, 0)
 	}
+	if n.metrics != nil {
+		// The utilization recorded in lastUtil held from the previous
+		// observe pass until now; charge that interval to the link
+		// histograms before overwriting it with the fresh rates.
+		n.accumUtil(now)
+	}
 	if cap(n.rateSum) < len(n.links) {
 		n.rateSum = make([]float64, len(n.links))
 	}
@@ -812,8 +900,8 @@ func (n *Network) observeRates(now sim.Time) {
 		}
 		if n.tracer != nil && util != n.lastUtil[l.ID] {
 			n.tracer.Counter(n.linkPrefix+l.Name, "util", now, util)
-			n.lastUtil[l.ID] = util
 		}
+		n.lastUtil[l.ID] = util
 	}
 	if n.tracer == nil {
 		return

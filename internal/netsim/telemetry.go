@@ -10,15 +10,24 @@ import (
 // LinkUsage summarizes one link's traffic over a run: cumulative
 // bytes, time-weighted mean utilization over the simulated horizon,
 // and (when telemetry is enabled) peak instantaneous utilization.
-// It is the row type of the top-K hotspot report that names the
-// congested links — on a mesh the corner-NPU edges and I/O feeds, on
-// FRED the L1→L2 leaf uplinks.
+// With a metrics registry attached (SetMetrics) it additionally
+// carries the time-weighted utilization distribution — the p50/p95
+// that separate a link that is briefly saturated from one that is
+// persistently hot. It is the row type of the top-K hotspot report
+// that names the congested links — on a mesh the corner-NPU edges and
+// I/O feeds, on FRED the L1→L2 leaf uplinks.
 type LinkUsage struct {
 	ID       LinkID
 	Name     string
 	Bytes    float64
 	MeanUtil float64 // Bytes / (Bandwidth × horizon); 0 for infinite-BW links
 	PeakUtil float64 // max sum-of-rates / Bandwidth; tracked only with telemetry on
+
+	// Time-weighted utilization distribution, populated only when a
+	// metrics registry is attached (HasDist reports availability).
+	HasDist bool
+	P50Util float64
+	P95Util float64
 }
 
 // TopLinks returns the k most-utilized links, ordered by mean
@@ -26,6 +35,7 @@ type LinkUsage struct {
 // report is deterministic). k ≤ 0 returns every link. The horizon for
 // mean utilization is the current simulated time.
 func (n *Network) TopLinks(k int) []LinkUsage {
+	n.FlushMetrics() // settle + close the trailing distribution interval
 	n.settle()
 	horizon := n.sched.Now()
 	out := make([]LinkUsage, 0, len(n.links))
@@ -33,6 +43,11 @@ func (n *Network) TopLinks(k int) []LinkUsage {
 		u := LinkUsage{ID: l.ID, Name: l.Name, Bytes: l.bytesDone, PeakUtil: l.peakUtil}
 		if horizon > 0 && !math.IsInf(l.Bandwidth, 1) {
 			u.MeanUtil = l.bytesDone / (l.Bandwidth * horizon)
+		}
+		if l.utilHist != nil {
+			u.HasDist = true
+			u.P50Util = l.utilHist.Quantile(0.50)
+			u.P95Util = l.utilHist.Quantile(0.95)
 		}
 		out = append(out, u)
 	}
@@ -65,6 +80,9 @@ func (n *Network) HotspotTable(title string, k int) *report.Table {
 	for _, u := range n.TopLinks(k) {
 		tbl.AddRow(u.Name, report.FormatBytes(u.Bytes),
 			report.FormatFraction(u.MeanUtil), report.FormatFraction(u.PeakUtil))
+	}
+	if n.sched.Now() <= 0 {
+		tbl.AddNote("zero simulated horizon — mean utilization is undefined and shown as 0")
 	}
 	if !n.telemetry {
 		tbl.AddNote("peak utilization requires EnableLinkTelemetry")

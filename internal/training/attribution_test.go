@@ -1,0 +1,157 @@
+package training
+
+import (
+	"math"
+	"testing"
+
+	"github.com/wafernet/fred/internal/metrics"
+	"github.com/wafernet/fred/internal/topology"
+	"github.com/wafernet/fred/internal/workload"
+)
+
+// checkAttribution asserts the per-NPU invariants: rows exist for
+// exactly the placed workers, are sorted by NPU, and every row's
+// components sum to the iteration time within 1e-9 relative error.
+func checkAttribution(t *testing.T, r *Report) {
+	t.Helper()
+	if want := r.Config.Strategy.Workers(); len(r.NPUs) != want {
+		t.Fatalf("%d attribution rows, want %d placed workers", len(r.NPUs), want)
+	}
+	tiny := 1e-9 * r.Total
+	for i, row := range r.NPUs {
+		if i > 0 && r.NPUs[i-1].NPU >= row.NPU {
+			t.Fatalf("rows not sorted by NPU: %d then %d", r.NPUs[i-1].NPU, row.NPU)
+		}
+		if row.Total != r.Total {
+			t.Fatalf("npu %d Total = %g, want iteration total %g", row.NPU, row.Total, r.Total)
+		}
+		sum := row.Attributed() + row.Idle
+		if math.Abs(sum-r.Total) > tiny {
+			t.Fatalf("npu %d attribution sums to %g, want %g (err %g)",
+				row.NPU, sum, r.Total, sum-r.Total)
+		}
+		if row.Idle < -tiny {
+			t.Fatalf("npu %d negative idle %g — over-attribution", row.NPU, row.Idle)
+		}
+		for name, v := range map[string]float64{
+			"compute": row.Compute, "input-load": row.InputLoad, "mp": row.MP,
+			"dp": row.DP, "pp": row.PP, "stream": row.Stream,
+		} {
+			if v < 0 {
+				t.Fatalf("npu %d negative %s component %g", row.NPU, name, v)
+			}
+		}
+	}
+}
+
+// Every workload × wafer pairing must satisfy the attribution
+// invariants — this sweeps stationary (pure-DP, 3D) and streaming
+// modes on both fabric families.
+func TestAttributionSumsToTotal(t *testing.T) {
+	for _, m := range workload.Models() {
+		for _, mk := range []struct {
+			name string
+			make func() topology.Wafer
+		}{
+			{"mesh", newMesh},
+			{"fred-d", func() topology.Wafer { return newFred(topology.FredD) }},
+		} {
+			t.Run(m.Name+"/"+mk.name, func(t *testing.T) {
+				r := runOn(t, mk.make(), m)
+				checkAttribution(t, r)
+			})
+		}
+	}
+}
+
+// The critical replica's row mirrors the report breakdown: its idle is
+// (near) zero and its components match the critical-path decomposition.
+func TestAttributionCriticalPath(t *testing.T) {
+	r := runOn(t, newMesh(), workload.Transformer17B())
+	checkAttribution(t, r)
+	minIdle := math.Inf(1)
+	for _, row := range r.NPUs {
+		if row.Idle < minIdle {
+			minIdle = row.Idle
+		}
+	}
+	if minIdle > 1e-9*r.Total {
+		t.Fatalf("no NPU on the critical path: min idle %g of total %g", minIdle, r.Total)
+	}
+	// Aggregate exposure must dominate the per-class breakdown: the
+	// critical replica's exposure appears on some NPU's row.
+	var maxMP float64
+	for _, row := range r.NPUs {
+		if row.MP > maxMP {
+			maxMP = row.MP
+		}
+	}
+	if r.Breakdown.MP > 0 && maxMP < r.Breakdown.MP*(1-1e-9) {
+		t.Fatalf("max per-NPU MP exposure %g < breakdown MP %g", maxMP, r.Breakdown.MP)
+	}
+}
+
+func TestRecordMetrics(t *testing.T) {
+	r := runOn(t, newMesh(), workload.Transformer17B())
+	reg := metrics.NewRegistry()
+	r.RecordMetrics(reg)
+	if got := reg.Lookup("train/iterations").Value(); got != 1 {
+		t.Fatalf("train/iterations = %g", got)
+	}
+	if got := reg.Lookup("train/total_s").Value(); got != r.Total {
+		t.Fatalf("train/total_s = %g, want %g", got, r.Total)
+	}
+	if got := reg.Lookup("train/exposed/mp_s").Value(); got != r.Breakdown.MP {
+		t.Fatalf("train/exposed/mp_s = %g, want %g", got, r.Breakdown.MP)
+	}
+	if s := reg.Lookup("train/total_s"); s.Better() != "lower" {
+		t.Fatal("train/total_s not marked better:lower")
+	}
+	// One comm series triple per class with operations.
+	if st := r.Comm[ClassMP]; st.Ops > 0 {
+		if got := reg.Lookup("comm/mp/ops").Value(); got != float64(st.Ops) {
+			t.Fatalf("comm/mp/ops = %g, want %d", got, st.Ops)
+		}
+	}
+	// Per-NPU rows land as counters and reconstruct the totals.
+	row := r.NPUs[0]
+	prefix := "npu/000/"
+	if row.NPU != 0 {
+		t.Fatalf("first row NPU = %d, want 0 for the default placement", row.NPU)
+	}
+	sum := 0.0
+	for _, name := range []string{"compute_s", "input_load_s", "mp_s", "dp_s", "pp_s", "stream_s", "idle_s"} {
+		s := reg.Lookup(prefix + name)
+		if s == nil {
+			t.Fatalf("missing series %s%s", prefix, name)
+		}
+		sum += s.Value()
+	}
+	if math.Abs(sum-r.Total) > 1e-9*r.Total {
+		t.Fatalf("npu/000 series sum to %g, want %g", sum, r.Total)
+	}
+	// Two exports of two identical runs are byte-identical.
+	r2 := runOn(t, newMesh(), workload.Transformer17B())
+	reg2 := metrics.NewRegistry()
+	r2.RecordMetrics(reg2)
+	a, _ := reg.Export(metrics.Manifest{Tool: "test"}).Encode()
+	b, _ := reg2.Export(metrics.Manifest{Tool: "test"}).Encode()
+	if string(a) != string(b) {
+		t.Fatal("identical runs export different metrics artifacts")
+	}
+	// Nil registry must not panic.
+	r.RecordMetrics(nil)
+}
+
+func TestClassSlug(t *testing.T) {
+	want := map[Class]string{ClassMP: "mp", ClassPP: "pp", ClassDP: "dp",
+		ClassLoad: "input_load", ClassStream: "stream"}
+	for c, w := range want {
+		if got := c.slug(); got != w {
+			t.Errorf("%v slug = %q, want %q", c, got, w)
+		}
+	}
+	if got := Class(99).slug(); got != "class99" {
+		t.Errorf("unknown class slug = %q", got)
+	}
+}

@@ -147,6 +147,19 @@ func (e *engine) runStationary() (*Report, error) {
 	if dp := end - crit.finished; dp > 0 && s.DP > 1 {
 		br.DP = dp
 	}
+	// Per-NPU attribution: every NPU of an MP group shares its
+	// replica's timeline (lockstep); the post-finish wait for the DP
+	// sync to drain is the replica's DP exposure.
+	var npus []NPUTime
+	for _, r := range all {
+		dpExtra := 0.0
+		if wait := end - r.finished; wait > 0 && s.DP > 1 {
+			dpExtra = wait
+		}
+		for _, npu := range r.npus {
+			npus = append(npus, npuTime(npu, total, r.compute, r.blocked, dpExtra))
+		}
+	}
 	return &Report{
 		Config:              cfg,
 		Total:               total,
@@ -154,6 +167,7 @@ func (e *engine) runStationary() (*Report, error) {
 		PerSample:           total / float64(cfg.Minibatch()),
 		ActivationRecompute: recomputed,
 		Comm:                e.stats.stats,
+		NPUs:                sortNPUs(npus),
 	}, nil
 }
 

@@ -302,11 +302,24 @@ func (e *engine) runStreaming() (*Report, error) {
 		br.Stream += tail
 	}
 	total := end - start
+	// Streaming drives every NPU with the same global wave timeline
+	// (the whole wafer executes each layer group together), so the
+	// per-NPU attribution is the critical-path account replicated over
+	// the placed NPUs, with the store-drain tail charged to streaming.
+	streamBlocked := blocked
+	if tail := end - finished; tail > 0 {
+		streamBlocked[ClassStream] += tail
+	}
+	var npus []NPUTime
+	for rank := 0; rank < s.Workers(); rank++ {
+		npus = append(npus, npuTime(cfg.Placement[rank], total, compute, streamBlocked, 0))
+	}
 	return &Report{
 		Config:    cfg,
 		Total:     total,
 		Breakdown: br,
 		PerSample: total / float64(cfg.Minibatch()),
 		Comm:      e.stats.stats,
+		NPUs:      sortNPUs(npus),
 	}, nil
 }

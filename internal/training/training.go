@@ -198,6 +198,10 @@ type Report struct {
 	// Comm profiles the iteration's communication per class: operation
 	// counts, injected bytes and busy time.
 	Comm CommStats
+	// NPUs attributes the iteration time per placed NPU (ascending by
+	// NPU id): compute, per-class exposed communication, and idle,
+	// summing exactly to Total on every row.
+	NPUs []NPUTime
 }
 
 func (r *Report) String() string {
