@@ -22,7 +22,13 @@
 //	ablations  design-choice ablations (m, rings, buckets, bisection,
 //	           placement search, multi-wafer)
 //	ep         extension: beyond-3D parallelism (Expert Parallelism)
+//	faults     robustness: FRED-vs-mesh graceful degradation under
+//	           injected µswitch/link failures
 //	all        everything above
+//
+// The experiment may also be named with -study (fredsim -study faults).
+// A failing experiment cell no longer aborts the whole run: the other
+// cells complete, the failure is reported, and fredsim exits non-zero.
 //
 // With -csv, tables are emitted as CSV instead of aligned text.
 //
@@ -60,6 +66,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strings"
 
 	"github.com/wafernet/fred/internal/experiments"
 	"github.com/wafernet/fred/internal/metrics"
@@ -70,12 +77,27 @@ import (
 
 func main() {
 	flag.Usage = usage
-	flag.Parse()
-	if flag.NArg() < 1 {
+	// The experiment is named positionally (fredsim faults ...) or with
+	// the -study alias (fredsim -study faults ...); either way the
+	// remaining arguments go to the per-experiment flag set.
+	args := os.Args[1:]
+	cmd := ""
+	switch {
+	case len(args) >= 1 && strings.HasPrefix(args[0], "-study="):
+		cmd = strings.TrimPrefix(args[0], "-study=")
+		args = args[1:]
+	case len(args) >= 2 && (args[0] == "-study" || args[0] == "--study"):
+		cmd = args[1]
+		args = args[2:]
+	case len(args) >= 1 && !strings.HasPrefix(args[0], "-"):
+		cmd = args[0]
+		args = args[1:]
+	}
+	if cmd == "" {
 		usage()
 		os.Exit(2)
 	}
-	cmd := flag.Arg(0)
+	rest := args
 	includeAB := false
 	csv := false
 	parallel := 0
@@ -91,7 +113,7 @@ func main() {
 	fs.BoolVar(&linkStats, "linkstats", false, "report top-10 link hotspots per training run")
 	fs.StringVar(&metricsPath, "metrics", "", "write a fred-metrics JSON artifact (manifest + all series) to this file")
 	fs.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile of the simulator to this file")
-	if err := fs.Parse(flag.Args()[1:]); err != nil {
+	if err := fs.Parse(rest); err != nil {
 		os.Exit(2)
 	}
 
@@ -187,6 +209,9 @@ func main() {
 		case "ep":
 			_, tbl := session.EPStudy()
 			emit(tbl)
+		case "faults":
+			_, tbl := session.FaultSweep()
+			emit(tbl)
 		case "hw":
 			emit(experiments.HWTables()...)
 		case "ablations":
@@ -207,7 +232,7 @@ func main() {
 	if cmd == "all" {
 		for _, name := range []string{
 			"hw", "fig1", "meshio", "placement", "nonaligned", "fig2", "fig9",
-			"fig10", "fig11a", "fig11b", "scaling", "inference", "crossover", "batch", "profile", "packets", "heat", "ablations", "ep", "summary",
+			"fig10", "fig11a", "fig11b", "scaling", "inference", "crossover", "batch", "profile", "packets", "heat", "ablations", "ep", "faults", "summary",
 		} {
 			if !run(name) {
 				panic("internal: unknown experiment " + name)
@@ -217,6 +242,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fredsim: unknown experiment %q\n\n", cmd)
 		usage()
 		os.Exit(2)
+	}
+
+	// A panicking or failing cell no longer kills the run: forEach
+	// recovers it, the surviving cells complete, and the aggregate
+	// surfaces here as a non-zero exit.
+	exitCode := 0
+	if err := session.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "fredsim:", err)
+		exitCode = 1
 	}
 
 	if linkStats {
@@ -249,13 +283,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fredsim: wrote %d trace events (%d spans) to %s\n",
 			rec.Len(), rec.Spans(), tracePath)
 	}
+	if exitCode != 0 {
+		pprof.StopCPUProfile() // os.Exit skips the deferred stop
+		os.Exit(exitCode)
+	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fredsim <experiment> [-ab] [-csv] [-parallel N] [-trace out.json]
                [-linkstats] [-metrics out.json] [-cpuprofile out.pprof]
+       fredsim -study <experiment> [flags]
 
 experiments: fig1 fig2 fig9 fig10 fig11a fig11b meshio placement nonaligned
              scaling inference crossover batch profile packets heat hw
-             ablations ep summary all`)
+             ablations ep faults summary all`)
 }

@@ -1,0 +1,65 @@
+package collective
+
+import (
+	"github.com/wafernet/fred/internal/netsim"
+	"github.com/wafernet/fred/internal/topology"
+)
+
+// Degraded-mode collective compilation: shrink groups to the NPUs the
+// wafer can still reach, and (on the mesh) route ring edges around
+// failed links via the topology's detour router. A schedule compiled
+// here either uses only alive links or contains a routeless transfer,
+// which fails the Op with an error instead of panicking.
+
+// AliveGroup filters a collective group down to its members that still
+// have fabric connectivity (see topology.AliveNPUs), preserving order.
+// Dropped NPUs simply stop participating: the shrunken ring or tree
+// reduces over the survivors only.
+func AliveGroup(w topology.Wafer, group []int) []int {
+	alive := topology.AliveNPUs(w)
+	set := make(map[int]bool, len(alive))
+	for _, n := range alive {
+		set[n] = true
+	}
+	out := make([]int, 0, len(group))
+	for _, m := range group {
+		if set[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// detourRouter adapts a mesh's fault-aware RouteErr to the schedule
+// compilers' router interface: an unreachable pair yields a nil route,
+// which surfaces as an OpFailed transfer rather than a dead flow.
+type detourRouter struct{ m *topology.Mesh }
+
+func (d detourRouter) Route(src, dst int) []netsim.LinkID {
+	route, err := d.m.RouteErr(src, dst)
+	if err != nil {
+		return nil
+	}
+	return route
+}
+
+func (d detourRouter) RouteLatency(src, dst int) float64 {
+	return d.m.RouteLatency(src, dst)
+}
+
+// AllReduceDegraded compiles an all-reduce over the alive members of
+// group. On the mesh the ring edges use detour routes around failed
+// links (the Hamiltonian embedding assumes a healthy wafer); FRED
+// variants keep their usual schedules over the shrunken group, since
+// partial switch loss is modelled as trunk degradation rather than
+// route loss.
+func (c *Comm) AllReduceDegraded(group []int, bytes float64) Schedule {
+	alive := AliveGroup(c.w, group)
+	if len(alive) <= 1 || bytes <= 0 {
+		return Schedule{Name: "allreduce(noop)"}
+	}
+	if m, ok := c.w.(*topology.Mesh); ok {
+		return RingAllReduce(detourRouter{m}, SnakeOrder(m, alive), bytes, true)
+	}
+	return c.AllReduce(alive, bytes)
+}

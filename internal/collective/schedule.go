@@ -94,6 +94,10 @@ const (
 	OpRunning OpState = iota
 	OpPaused
 	OpDone
+	// OpFailed means the collective could not complete: a transfer had
+	// no route (dead topology) or one of its flows was aborted by a
+	// link failure. Err reports the cause; onDone never fires.
+	OpFailed
 )
 
 // Op is an in-flight collective operation.
@@ -102,12 +106,14 @@ type Op struct {
 	sched    *sim.Scheduler
 	schedule Schedule
 	onDone   func(*Op)
+	onFail   func(*Op)
 	phase    int
 	active   []*netsim.Flow
 	pendingN int
 	state    OpState
 	started  sim.Time
 	finished sim.Time
+	err      error
 }
 
 // Start begins executing a schedule on the network. onDone fires when
@@ -126,6 +132,21 @@ func Start(net *netsim.Network, schedule Schedule, onDone func(*Op)) *Op {
 
 // State returns the op's lifecycle state.
 func (op *Op) State() OpState { return op.state }
+
+// Err returns why the op failed (nil unless State is OpFailed). A
+// transfer with no links fails the op synchronously, so callers on
+// degraded topologies should check Err right after Start.
+func (op *Op) Err() error { return op.err }
+
+// OnFail registers a callback fired when the op fails (link failure
+// aborting a flow, or a later phase with no route). It fires
+// immediately if the op has already failed.
+func (op *Op) OnFail(fn func(*Op)) {
+	op.onFail = fn
+	if op.state == OpFailed && fn != nil {
+		fn(op)
+	}
+}
 
 // Started returns the op's start time.
 func (op *Op) Started() sim.Time { return op.started }
@@ -152,7 +173,12 @@ func (op *Op) startPhase() {
 	op.pendingN = len(phase)
 	for _, t := range phase {
 		if len(t.Links) == 0 {
-			panic(fmt.Sprintf("collective: %s: transfer with no links", op.schedule.Name))
+			// A fault plan can legitimately produce a routeless transfer
+			// (dead topology between two members): fail the op instead of
+			// panicking.
+			op.fail(fmt.Errorf("collective: %s: phase %d: transfer with no links",
+				op.schedule.Name, op.phase))
+			return
 		}
 		lat := t.LatencyOverride
 		if lat <= 0 {
@@ -165,6 +191,7 @@ func (op *Op) startPhase() {
 			Latency: lat,
 			Label:   op.schedule.Name,
 			Done:    func(*netsim.Flow) { op.flowDone() },
+			OnFail:  func(f *netsim.Flow) { op.flowAborted(f) },
 		}))
 	}
 }
@@ -174,6 +201,32 @@ func (op *Op) flowDone() {
 	if op.pendingN == 0 && op.state == OpRunning {
 		op.phase++
 		op.startPhase()
+	}
+}
+
+// flowAborted handles one of the op's flows exhausting its retry
+// budget after a link failure: the whole collective fails.
+func (op *Op) flowAborted(f *netsim.Flow) {
+	op.fail(fmt.Errorf("collective: %s: phase %d: flow aborted by link failure after %d retries",
+		op.schedule.Name, op.phase, f.Retries()))
+}
+
+// fail moves the op to OpFailed, cancels its surviving flows, and
+// fires the failure callback. Later failures of an already-failed op
+// are no-ops.
+func (op *Op) fail(err error) {
+	if op.state == OpDone || op.state == OpFailed {
+		return
+	}
+	op.state = OpFailed
+	op.err = err
+	op.finished = op.sched.Now()
+	for _, f := range op.active {
+		f.Cancel()
+	}
+	op.active = nil
+	if op.onFail != nil {
+		op.onFail(op)
 	}
 }
 
@@ -211,15 +264,30 @@ func (op *Op) Resume() {
 	}
 }
 
-// RunToCompletion is a convenience for tests and microbenchmarks: it
-// starts the schedule on an otherwise idle network, drains the
-// scheduler, and returns the elapsed time.
-func RunToCompletion(net *netsim.Network, schedule Schedule) sim.Time {
+// RunToCompletionErr starts the schedule on an otherwise idle network,
+// drains the scheduler, and returns the elapsed time — or the op's
+// failure when a fault plan leaves the collective unroutable or aborts
+// one of its flows.
+func RunToCompletionErr(net *netsim.Network, schedule Schedule) (sim.Time, error) {
 	start := net.Scheduler().Now()
 	var end sim.Time
-	Start(net, schedule, func(op *Op) { end = op.Finished() })
+	op := Start(net, schedule, func(op *Op) { end = op.Finished() })
 	net.Scheduler().Run()
-	return end - start
+	if err := op.Err(); err != nil {
+		return 0, err
+	}
+	return end - start, nil
+}
+
+// RunToCompletion is a convenience for tests and microbenchmarks on
+// healthy fabrics: like RunToCompletionErr, but a failed op panics —
+// callers that inject faults should use the error-returning variant.
+func RunToCompletion(net *netsim.Network, schedule Schedule) sim.Time {
+	t, err := RunToCompletionErr(net, schedule)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // RunConcurrently starts several schedules at once on an idle network,
@@ -227,11 +295,17 @@ func RunToCompletion(net *netsim.Network, schedule Schedule) sim.Time {
 // used to measure contention between concurrent collectives.
 func RunConcurrently(net *netsim.Network, schedules []Schedule) []sim.Time {
 	times := make([]sim.Time, len(schedules))
+	ops := make([]*Op, len(schedules))
 	start := net.Scheduler().Now()
 	for i, s := range schedules {
 		i := i
-		Start(net, s, func(op *Op) { times[i] = op.Finished() - start })
+		ops[i] = Start(net, s, func(op *Op) { times[i] = op.Finished() - start })
 	}
 	net.Scheduler().Run()
+	for _, op := range ops {
+		if err := op.Err(); err != nil {
+			panic(err) // healthy-fabric convenience, like RunToCompletion
+		}
+	}
 	return times
 }

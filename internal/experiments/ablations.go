@@ -113,7 +113,7 @@ type RingDirectionRow struct {
 func (s *Session) RingDirectionAblation() ([]RingDirectionRow, *report.Table) {
 	sizes := []int{4, 10, 20}
 	rows := make([]RingDirectionRow, len(sizes))
-	s.forEach(len(sizes), func(i int, cs *Session) {
+	s.forEach("RingDirectionAblation", len(sizes), func(i int, cs *Session) {
 		n := sizes[i]
 		group := make([]int, n)
 		for j := range group {
@@ -160,9 +160,9 @@ type GradBucketRow struct {
 func (s *Session) GradBucketAblation() ([]GradBucketRow, *report.Table) {
 	buckets := []int{1, 2, 4, 8, 16}
 	rows := make([]GradBucketRow, len(buckets))
-	s.forEach(len(buckets), func(i int, cs *Session) {
+	s.forEach("GradBucketAblation", len(buckets), func(i int, cs *Session) {
 		nb := buckets[i]
-		r := training.MustSimulate(training.Config{
+		r := mustTrain(training.Config{
 			Wafer:               cs.Build(Baseline),
 			Model:               workload.ResNet152(),
 			Strategy:            parallelism.Strategy{MP: 1, DP: 20, PP: 1},
@@ -202,11 +202,11 @@ type BisectionRow struct {
 func (s *Session) BisectionSweep() ([]BisectionRow, *report.Table) {
 	bws := []float64{1.5e12, 3e12, 6e12, 12e12, 24e12}
 	rows := make([]BisectionRow, len(bws))
-	s.forEach(len(bws), func(i int, cs *Session) {
+	s.forEach("BisectionSweep", len(bws), func(i int, cs *Session) {
 		cfg := topology.FredVariantConfig(topology.FredD)
 		cfg.L1L2BW = bws[i]
 		w := topology.NewFredFabric(netOf(), cfg)
-		r := training.MustSimulate(training.Config{
+		r := mustTrain(training.Config{
 			Wafer:               w,
 			Model:               workload.Transformer17B(),
 			Strategy:            parallelism.Strategy{MP: 3, DP: 3, PP: 2},
@@ -241,7 +241,7 @@ type MultiWaferRow struct {
 func (s *Session) MultiWaferStudy() ([]MultiWaferRow, *report.Table) {
 	counts := []int{2, 4, 8}
 	rows := make([]MultiWaferRow, len(counts))
-	s.forEach(len(counts), func(i int, cs *Session) {
+	s.forEach("MultiWaferStudy", len(counts), func(i int, cs *Session) {
 		cfg := multiwafer.DefaultConfig()
 		cfg.Wafers = counts[i]
 		sh := multiwafer.New(cfg)
@@ -289,7 +289,7 @@ func (s *Session) PlacementSearchAblation() ([]PlacementSearchRow, *report.Table
 		{MP: 5, DP: 3, PP: 1}, // non-aligned (Figure 6)
 	}
 	rows := make([]PlacementSearchRow, 2*len(strategies))
-	s.forEach(len(strategies), func(i int, cs *Session) {
+	s.forEach("PlacementSearchAblation", len(strategies), func(i int, cs *Session) {
 		strat := strategies[i]
 		measure := func(name string, p placement.Placement) PlacementSearchRow {
 			w := cs.Build(Baseline)
@@ -351,9 +351,9 @@ func (s *Session) ScheduleAblation() ([]ScheduleRow, *report.Table) {
 	}
 	schedules := []training.PipelineSchedule{training.ScheduleGPipe, training.Schedule1F1B}
 	rows := make([]ScheduleRow, len(strategies)*len(schedules))
-	s.forEach(len(rows), func(i int, cs *Session) {
+	s.forEach("ScheduleAblation", len(rows), func(i int, cs *Session) {
 		strat, sched := strategies[i/len(schedules)], schedules[i%len(schedules)]
-		r := training.MustSimulate(training.Config{
+		r := mustTrain(training.Config{
 			Wafer:               cs.Build(FredD),
 			Model:               workload.Transformer17B(),
 			Strategy:            strat,

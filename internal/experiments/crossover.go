@@ -30,7 +30,7 @@ func (s *Session) CrossoverStudy() ([]CrossoverRow, *report.Table) {
 	sizes := []float64{4 << 10, 64 << 10, 1 << 20, 16 << 20, 256 << 20}
 
 	rows := make([]CrossoverRow, len(wafers)*len(sizes))
-	s.forEach(len(rows), func(i int, cs *Session) {
+	s.forEach("CrossoverStudy", len(rows), func(i int, cs *Session) {
 		dims, bytes := wafers[i/len(sizes)], sizes[i%len(sizes)]
 		n := dims[0] * dims[1]
 		group := make([]int, n)

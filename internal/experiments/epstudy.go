@@ -70,7 +70,7 @@ func (s *Session) EPStudy() ([]EPRow, *report.Table) {
 	}
 
 	rows := make([]EPRow, len(cases))
-	s.forEach(len(cases), func(i int, cs *Session) {
+	s.forEach("EPStudy", len(cases), func(i int, cs *Session) {
 		c := cases[i]
 		measure := func(sys System) float64 {
 			w := cs.Build(sys)

@@ -59,7 +59,7 @@ func Build(s System) topology.Wafer { return NewSession().Build(s) }
 
 // RunTraining simulates one iteration of the model under the strategy
 // on a fresh unobserved instance of the system.
-func RunTraining(s System, m *workload.Model, strat parallelism.Strategy, perReplica int) *training.Report {
+func RunTraining(s System, m *workload.Model, strat parallelism.Strategy, perReplica int) (*training.Report, error) {
 	return NewSession().RunTraining(s, m, strat, perReplica)
 }
 

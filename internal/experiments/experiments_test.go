@@ -253,7 +253,10 @@ func TestMultiWaferStudyGain(t *testing.T) {
 
 func TestRunTrainingMatchesDefaultStrategy(t *testing.T) {
 	m := workload.ResNet152()
-	r := RunTraining(Baseline, m, defaultStrategy(m), 16)
+	r, err := RunTraining(Baseline, m, defaultStrategy(m), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Total <= 0 {
 		t.Fatal("empty report")
 	}

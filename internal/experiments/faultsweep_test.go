@@ -1,0 +1,60 @@
+package experiments
+
+import "testing"
+
+// TestFaultSweepFredBeatsMesh is the study's acceptance criterion: at
+// every swept failure count, FRED's degraded all-reduce keeps strictly
+// more effective bandwidth than the equal-bisection mesh's.
+func TestFaultSweepFredBeatsMesh(t *testing.T) {
+	s := NewSession()
+	s.SetParallel(1)
+	rows, _ := s.FaultSweep()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.FredBW <= 0 {
+			t.Errorf("K=%d: FRED all-reduce did not complete", r.Failures)
+			continue
+		}
+		if r.FredBW <= r.MeshBW {
+			t.Errorf("K=%d: FRED %.3g B/s not strictly above mesh %.3g B/s",
+				r.Failures, r.FredBW, r.MeshBW)
+		}
+	}
+	// More faults must never help: bandwidth is non-increasing in K for
+	// both fabrics (faults only remove capacity).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].FredBW > rows[i-1].FredBW {
+			t.Errorf("FRED bandwidth rose from K=%d to K=%d", i-1, i)
+		}
+	}
+}
+
+// TestFaultSweepDeterministicAcrossPools asserts byte-identical study
+// output at every worker-pool size.
+func TestFaultSweepDeterministicAcrossPools(t *testing.T) {
+	s1 := NewSession()
+	s1.SetParallel(1)
+	rows1, tbl1 := s1.FaultSweep()
+	s4 := NewSession()
+	s4.SetParallel(4)
+	rows4, tbl4 := s4.FaultSweep()
+	if err := s1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s4.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows1 {
+		if rows1[i] != rows4[i] {
+			t.Errorf("row %d differs: parallel=1 %+v, parallel=4 %+v", i, rows1[i], rows4[i])
+		}
+	}
+	if got, want := tbl4.String(), tbl1.String(); got != want {
+		t.Errorf("table text differs across pool sizes:\n--- parallel=1 ---\n%s\n--- parallel=4 ---\n%s", want, got)
+	}
+}

@@ -30,8 +30,8 @@ type Fig2Row struct {
 func (s *Session) Figure2() ([]Fig2Row, *report.Table) {
 	strategies := transformerStrategies()
 	reports := make([]*training.Report, len(strategies))
-	s.forEach(len(strategies), func(i int, cs *Session) {
-		reports[i] = cs.RunTraining(Baseline, workload.Transformer17B(), strategies[i], 40)
+	s.forEach("Figure2", len(strategies), func(i int, cs *Session) {
+		reports[i] = cs.mustRunTraining(Baseline, workload.Transformer17B(), strategies[i], 40)
 	})
 
 	var rows []Fig2Row
@@ -111,7 +111,7 @@ func (s *Session) Figure9() ([]Fig9Cell, *report.Table) {
 
 	systems := Systems()
 	times := make([]float64, len(phases)*len(systems))
-	s.forEach(len(times), func(i int, cs *Session) {
+	s.forEach("Figure9", len(times), func(i int, cs *Session) {
 		phase, sys := phases[i/len(systems)], systems[i%len(systems)]
 		w := cs.Build(sys)
 		times[i] = phase.run(collective.NewComm(w), w)
@@ -170,11 +170,11 @@ func (s *Session) Figure10(includeAB bool) ([]Fig10Row, *report.Table) {
 	}
 	models := workload.Models()
 	reports := make([]*training.Report, len(models)*len(systems))
-	s.forEach(len(reports), func(i int, cs *Session) {
+	s.forEach("Figure10", len(reports), func(i int, cs *Session) {
 		// Each cell constructs its own model so no state whatsoever is
 		// shared between concurrent simulations.
 		m := workload.Models()[i/len(systems)]
-		reports[i] = cs.RunTraining(systems[i%len(systems)], m, defaultStrategy(m), 16)
+		reports[i] = cs.mustRunTraining(systems[i%len(systems)], m, defaultStrategy(m), 16)
 	})
 
 	var rows []Fig10Row
@@ -232,9 +232,9 @@ type Fig11Summary struct {
 func (s *Session) figure11(mk func() *workload.Model, strategies []parallelism.Strategy, perReplica int, title string) (*Fig11Summary, *report.Table) {
 	type pair struct{ base, fredD *training.Report }
 	results := make([]pair, len(strategies))
-	s.forEach(len(strategies), func(i int, cs *Session) {
-		results[i].base = cs.RunTraining(Baseline, mk(), strategies[i], perReplica)
-		results[i].fredD = cs.RunTraining(FredD, mk(), strategies[i], perReplica)
+	s.forEach("Figure11", len(strategies), func(i int, cs *Session) {
+		results[i].base = cs.mustRunTraining(Baseline, mk(), strategies[i], perReplica)
+		results[i].fredD = cs.mustRunTraining(FredD, mk(), strategies[i], perReplica)
 	})
 
 	sum := &Fig11Summary{}
@@ -328,7 +328,7 @@ type MeshIORow struct {
 func (s *Session) MeshIOStudy() ([]MeshIORow, *report.Table) {
 	sizes := [][2]int{{4, 4}, {5, 4}, {5, 5}, {6, 6}, {8, 8}}
 	rows := make([]MeshIORow, len(sizes))
-	s.forEach(len(sizes), func(i int, cs *Session) {
+	s.forEach("MeshIOStudy", len(sizes), func(i int, cs *Session) {
 		dims := sizes[i]
 		cfg := topology.DefaultMeshConfig()
 		cfg.W, cfg.H = dims[0], dims[1]
@@ -404,10 +404,10 @@ func (s *Session) BatchSensitivity() ([]BatchRow, *report.Table) {
 	strat := parallelism.Strategy{MP: 3, DP: 3, PP: 2}
 	batches := []int{8, 16, 40, 80}
 	rows := make([]BatchRow, len(batches))
-	s.forEach(len(batches), func(i int, cs *Session) {
+	s.forEach("BatchSensitivity", len(batches), func(i int, cs *Session) {
 		b := batches[i]
-		base := cs.RunTraining(Baseline, workload.Transformer17B(), strat, b)
-		fd := cs.RunTraining(FredD, workload.Transformer17B(), strat, b)
+		base := cs.mustRunTraining(Baseline, workload.Transformer17B(), strat, b)
+		fd := cs.mustRunTraining(FredD, workload.Transformer17B(), strat, b)
 		rows[i] = BatchRow{PerReplica: b, Base: base, FredD: fd, Speedup: base.Total / fd.Total}
 	})
 
@@ -432,9 +432,9 @@ func BatchSensitivity() ([]BatchRow, *report.Table) { return NewSession().BatchS
 func (s *Session) CommProfile(sys System) *report.Table {
 	models := workload.Models()
 	reports := make([]*training.Report, len(models))
-	s.forEach(len(models), func(i int, cs *Session) {
+	s.forEach("CommProfile", len(models), func(i int, cs *Session) {
 		m := workload.Models()[i]
-		reports[i] = cs.RunTraining(sys, m, defaultStrategy(m), 16)
+		reports[i] = cs.mustRunTraining(sys, m, defaultStrategy(m), 16)
 	})
 
 	tbl := &report.Table{

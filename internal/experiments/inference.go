@@ -33,7 +33,7 @@ func (s *Session) InferenceStudy() ([]InferenceRow, *report.Table) {
 	mps := []int{2, 5, 10, 20}
 	systems := []System{Baseline, FredD}
 	rows := make([]InferenceRow, len(mps)*len(systems))
-	s.forEach(len(rows), func(i int, cs *Session) {
+	s.forEach("InferenceStudy", len(rows), func(i int, cs *Session) {
 		mp, sys := mps[i/len(systems)], systems[i%len(systems)]
 		group := make([]int, mp)
 		for j := range group {

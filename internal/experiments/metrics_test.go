@@ -49,8 +49,11 @@ func TestMetricsParallelByteIdentical(t *testing.T) {
 func TestSessionCollectMetrics(t *testing.T) {
 	s := NewSession()
 	s.CollectMetrics(true)
-	r := s.RunTraining(Baseline, workload.Transformer17B(),
+	r, err := s.RunTraining(Baseline, workload.Transformer17B(),
 		parallelism.Strategy{MP: 3, DP: 3, PP: 2}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := s.Metrics()
 	if got := m.Lookup("train/total_s"); got == nil || got.Value() != r.Total {
 		t.Fatalf("train/total_s = %v, want %g", got, r.Total)

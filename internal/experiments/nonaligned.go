@@ -72,7 +72,7 @@ func (s *Session) NonAlignedStudy() (*NonAlignedResult, *report.Table) {
 		return out
 	}
 
-	s.forEach(3, func(i int, cs *Session) {
+	s.forEach("NonAlignedStudy", 3, func(i int, cs *Session) {
 		switch i {
 		case 0: // solo on the mesh
 			mSolo := newMesh()
@@ -145,7 +145,7 @@ func meshLoadHeatmap(m *topology.Mesh, schedules []collective.Schedule) string {
 // fan-out.
 func (s *Session) TrainingHeatmap(strat parallelism.Strategy) (string, *report.Table) {
 	w := s.Build(Baseline).(*topology.Mesh)
-	r := training.MustSimulate(training.Config{
+	r := mustTrain(training.Config{
 		Wafer:               w,
 		Model:               workload.Transformer17B(),
 		Strategy:            strat,

@@ -45,7 +45,11 @@ func (s *Session) PacketValidation() ([]PacketValidationRow, *report.Table) {
 		for _, p := range pairs {
 			msgs = append(msgs, m.Inject(p[0], p[1], flits))
 		}
-		m.Run()
+		if _, err := m.Run(); err != nil {
+			// The validation meshes are healthy; an error here is a
+			// broken model, not a degraded topology.
+			panic(fmt.Sprintf("packet validation: %v", err))
+		}
 		max := 0
 		for _, msg := range msgs {
 			if msg.Delivered > max {
@@ -65,7 +69,7 @@ func (s *Session) PacketValidation() ([]PacketValidationRow, *report.Table) {
 		{"column merge", [][2]int{{0, 10}}, [][2]int{{0, 10}, {5, 10}}},
 	}
 	rows := make([]PacketValidationRow, len(cases))
-	s.forEach(len(cases), func(i int, cs *Session) {
+	s.forEach("PacketValidation", len(cases), func(i int, cs *Session) {
 		c := cases[i]
 		rows[i] = PacketValidationRow{
 			Pattern:   c.name,

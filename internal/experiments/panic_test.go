@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestForEachRecoversPanickingCell(t *testing.T) {
+	for _, parallel := range []int{1, 4} {
+		s := NewSession()
+		s.SetParallel(parallel)
+		ran := make([]bool, 6)
+		s.forEach("BoomStudy", len(ran), func(i int, cs *Session) {
+			if i == 2 {
+				panic("cell exploded")
+			}
+			ran[i] = true
+		})
+		for i, ok := range ran {
+			if i == 2 {
+				if ok {
+					t.Fatalf("parallel=%d: panicking cell reported success", parallel)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("parallel=%d: cell %d did not run after cell 2 panicked", parallel, i)
+			}
+		}
+		err := s.Err()
+		if err == nil {
+			t.Fatalf("parallel=%d: Err() = nil after a cell panic", parallel)
+		}
+		ce, ok := err.(*CellError)
+		if !ok {
+			t.Fatalf("parallel=%d: err type %T, want *CellError", parallel, err)
+		}
+		if ce.Study != "BoomStudy" || ce.Cell != 2 {
+			t.Fatalf("parallel=%d: error %+v, want BoomStudy cell 2", parallel, ce)
+		}
+		if !strings.Contains(err.Error(), "cell exploded") {
+			t.Fatalf("parallel=%d: error %q missing panic value", parallel, err)
+		}
+	}
+}
+
+func TestForEachAggregatesMultiplePanics(t *testing.T) {
+	s := NewSession()
+	s.SetParallel(3)
+	s.forEach("MultiBoom", 6, func(i int, cs *Session) {
+		if i%2 == 0 {
+			panic(i)
+		}
+	})
+	err := s.Err()
+	if err == nil {
+		t.Fatal("no aggregated error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "3 cells failed") {
+		t.Fatalf("error %q does not report 3 failures", msg)
+	}
+	for _, want := range []string{"cell 0", "cell 2", "cell 4"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestSessionErrNilOnCleanRun(t *testing.T) {
+	s := NewSession()
+	s.SetParallel(2)
+	s.forEach("Clean", 4, func(i int, cs *Session) {})
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

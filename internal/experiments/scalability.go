@@ -33,7 +33,7 @@ type ScalabilityRow struct {
 func (s *Session) ScalabilityStudy() ([]ScalabilityRow, *report.Table) {
 	sizes := [][2]int{{5, 4}, {6, 6}, {8, 8}}
 	rows := make([]ScalabilityRow, len(sizes))
-	s.forEach(len(sizes), func(i int, cs *Session) {
+	s.forEach("ScalabilityStudy", len(sizes), func(i int, cs *Session) {
 		dims := sizes[i]
 		n := dims[0] * dims[1]
 		row := ScalabilityRow{NPUs: n, MeshDims: dims}

@@ -37,9 +37,49 @@ type Session struct {
 
 	mu       sync.Mutex
 	buildSeq int
+	errs     []error
 
 	linkTables  *report.Collector
 	metricsColl *metrics.Collector
+}
+
+// CellError reports a panic recovered from one experiment cell: the
+// study driver it belonged to, the cell index, and the panic value.
+type CellError struct {
+	Study string
+	Cell  int
+	Value interface{}
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("experiments: %s: cell %d panicked: %v", e.Study, e.Cell, e.Value)
+}
+
+// addErr records a cell failure on the session.
+func (s *Session) addErr(err error) {
+	s.mu.Lock()
+	s.errs = append(s.errs, err)
+	s.mu.Unlock()
+}
+
+// Err returns the session's accumulated cell failures as a single
+// error, or nil when every cell so far completed. A panicking cell no
+// longer kills the whole run: the other cells of its study finish, the
+// failure is recorded here, and drivers like fredsim exit non-zero.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch len(s.errs) {
+	case 0:
+		return nil
+	case 1:
+		return s.errs[0]
+	}
+	msg := fmt.Sprintf("experiments: %d cells failed:", len(s.errs))
+	for _, e := range s.errs {
+		msg += "\n  " + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
 }
 
 // NewSession returns a session with observability off and the worker
@@ -119,14 +159,28 @@ func (s *Session) workers() int {
 // merge back in cell order no matter which worker finishes first.
 // Callers index result arrays by cell, which keeps row order
 // deterministic by construction.
-func (s *Session) forEach(n int, fn func(cell int, cs *Session)) {
+//
+// A cell that panics does not kill the run (or, in the parallel path,
+// the process): the panic is recovered, tagged with the study name and
+// cell index, and recorded on the session — the remaining cells run to
+// completion, the pool drains normally, and Err reports the aggregate.
+// A failed cell's row stays zero-valued in the caller's result array.
+func (s *Session) forEach(study string, n int, fn func(cell int, cs *Session)) {
+	runCell := func(i int, cs *Session) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.addErr(&CellError{Study: study, Cell: i, Value: r})
+			}
+		}()
+		fn(i, cs)
+	}
 	w := s.workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i, s)
+			runCell(i, s)
 		}
 		return
 	}
@@ -150,13 +204,17 @@ func (s *Session) forEach(n int, fn func(cell int, cs *Session)) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			fn(i, children[i])
+			runCell(i, children[i])
 		}(i)
 	}
 	wg.Wait()
 	for i, c := range children {
 		s.linkTables.Fill(slots[i], c.LinkStatsTables()...)
 		s.metricsColl.Fill(mslots[i], c.metricsColl.Registries()...)
+		// Nested fan-outs record on the child; surface those too.
+		s.mu.Lock()
+		s.errs = append(s.errs, c.errs...)
+		s.mu.Unlock()
 	}
 }
 
@@ -186,16 +244,23 @@ func (s *Session) observeNetwork(net *netsim.Network, system System) {
 }
 
 // RunTraining simulates one iteration of the model under the strategy
-// on a fresh instance of the system.
-func (s *Session) RunTraining(sys System, m *workload.Model, strat parallelism.Strategy, perReplica int) *training.Report {
+// on a fresh instance of the system. A configuration the simulator
+// rejects (e.g. a strategy that no longer fits a degraded wafer) is
+// returned as an error, not a panic; cells that treat their config as
+// known-good may panic on it themselves, which forEach records as a
+// CellError without killing the run.
+func (s *Session) RunTraining(sys System, m *workload.Model, strat parallelism.Strategy, perReplica int) (*training.Report, error) {
 	w := s.Build(sys)
-	r := training.MustSimulate(training.Config{
+	r, err := training.Simulate(training.Config{
 		Wafer:               w,
 		Model:               m,
 		Strategy:            strat,
 		MinibatchPerReplica: perReplica,
 		Tracer:              s.tracer,
 	})
+	if err != nil {
+		return nil, err
+	}
 	if s.collectMetrics {
 		net := w.Network()
 		net.FlushMetrics()
@@ -204,6 +269,27 @@ func (s *Session) RunTraining(sys System, m *workload.Model, strat parallelism.S
 	if s.linkStats {
 		title := fmt.Sprintf("Link hotspots: %s, %v on %s", m.Name, strat, sys)
 		s.linkTables.Append(w.Network().HotspotTable(title, 10))
+	}
+	return r, nil
+}
+
+// mustRunTraining is the known-good-config form: cells use it where a
+// simulation error means the experiment itself is broken. The panic is
+// recovered by forEach and surfaced via Err.
+func (s *Session) mustRunTraining(sys System, m *workload.Model, strat parallelism.Strategy, perReplica int) *training.Report {
+	r, err := s.RunTraining(sys, m, strat, perReplica)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// mustTrain is mustRunTraining for cells that assemble a bespoke
+// training.Config rather than going through Build.
+func mustTrain(cfg training.Config) *training.Report {
+	r, err := training.Simulate(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return r
 }

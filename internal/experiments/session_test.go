@@ -22,7 +22,11 @@ func TestSessionConcurrentRunTraining(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r := s.RunTraining(Baseline, workload.ResNet152(), strat, 1)
+			r, err := s.RunTraining(Baseline, workload.ResNet152(), strat, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
 			if r.Total <= 0 {
 				t.Error("training produced non-positive iteration time")
 			}

@@ -59,7 +59,7 @@ func (s *Session) PlacementStudy() ([]PlacementRow, *report.Table) {
 	dims := []placement.Dim{placement.MP, placement.DP, placement.PP}
 
 	rows := make([]PlacementRow, len(builds)*len(dims))
-	s.forEach(len(rows), func(i int, cs *Session) {
+	s.forEach("PlacementStudy", len(rows), func(i int, cs *Session) {
 		b, dim := builds[i/len(dims)], dims[i%len(dims)]
 		w, p := b.build()
 		rep := placement.Congestion(w, strat, p)

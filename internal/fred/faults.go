@@ -1,0 +1,115 @@
+package fred
+
+import (
+	"fmt"
+	"sort"
+)
+
+// µswitch failures. A failed element takes all of its ports out of
+// service. Routing then re-plans around the failure using the Clos
+// spare paths: a failure anywhere inside middle subnetwork k removes
+// color k from the palette at that stage (the conflict-graph coloring
+// simply has one fewer middle to choose from), so flows keep routing
+// until the surviving middles can no longer color the conflict graph.
+// A failed input/output µswitch, mux or demux is different — it owns
+// specific external ports, and a flow needing those ports has no spare
+// path; Route reports it as a DeadSwitchError.
+
+// DeadSwitchError reports that a flow's external ports are wired
+// through a failed first/last-stage element, which no middle-stage
+// spare path can bypass.
+type DeadSwitchError struct {
+	// Level is the recursion depth of the failed element.
+	Level int
+	// Element is the failed element's label.
+	Element string
+	// Flows are the original flow indices that need the element.
+	Flows []int
+}
+
+func (e *DeadSwitchError) Error() string {
+	return fmt.Sprintf("fred: flows %v require failed µswitch %s (level %d)",
+		e.Flows, e.Element, e.Level)
+}
+
+// FailElement marks an element failed. Subsequent Route calls re-plan
+// around it (middle-stage elements) or report DeadSwitchError for the
+// flows that need it (first/last-stage elements). Failing is permanent
+// and idempotent.
+func (ic *Interconnect) FailElement(id int) {
+	if id < 0 || id >= len(ic.elements) {
+		panic(fmt.Sprintf("fred: FailElement(%d) out of range [0,%d)", id, len(ic.elements)))
+	}
+	if ic.failed == nil {
+		ic.failed = make([]bool, len(ic.elements))
+	}
+	ic.failed[id] = true
+}
+
+// ElementFailed reports whether FailElement was called on the element.
+func (ic *Interconnect) ElementFailed(id int) bool {
+	return ic.failed != nil && ic.failed[id]
+}
+
+// FailedElements returns the failed element IDs in ascending order.
+func (ic *Interconnect) FailedElements() []int {
+	var out []int
+	for id, f := range ic.failed {
+		if f {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// stageFailed reports whether any element of the (sub-)stage — base,
+// first/last stage, or anything deeper — has failed. Used to ban a
+// middle subnetwork's color wholesale: a conservative model in which a
+// middle with any internal failure is taken out of rotation, exactly
+// how a Clos fabric sheds a faulty middle plane.
+func (ic *Interconnect) stageFailed(st *stage) bool {
+	if ic.failed == nil {
+		return false
+	}
+	if st.base != nil {
+		return ic.failed[st.base.ID]
+	}
+	for _, e := range st.inputs {
+		if ic.failed[e.ID] {
+			return true
+		}
+	}
+	for _, e := range st.outputs {
+		if ic.failed[e.ID] {
+			return true
+		}
+	}
+	if st.odd && (ic.failed[st.demux.ID] || ic.failed[st.mux.ID]) {
+		return true
+	}
+	for _, mid := range st.middles {
+		if ic.stageFailed(mid) {
+			return true
+		}
+	}
+	return false
+}
+
+// bannedMiddles returns, for one stage, which middle colors are out of
+// service, or nil when all middles are healthy.
+func (ic *Interconnect) bannedMiddles(st *stage) []bool {
+	if ic.failed == nil {
+		return nil
+	}
+	var banned []bool
+	for k, mid := range st.middles {
+		if ic.stageFailed(mid) {
+			if banned == nil {
+				banned = make([]bool, len(st.middles))
+			}
+			banned[k] = true
+		}
+	}
+	return banned
+}

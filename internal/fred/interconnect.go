@@ -32,6 +32,9 @@ type Interconnect struct {
 	elements []*Element
 	root     *stage
 	inWire   []Wire
+	// failed flags elements taken out of service (FailElement), indexed
+	// by element ID; nil while the interconnect is healthy.
+	failed []bool
 }
 
 // NewInterconnect constructs a Fred_m(P) interconnect. m is the number

@@ -16,9 +16,17 @@ type ConflictError struct {
 	Flows []int
 	// M is the number of available colors (middle subnetworks).
 	M int
+	// FailedMiddles counts middle subnetworks out of service at the
+	// failing level (see FailElement); the palette really had
+	// M − FailedMiddles colors.
+	FailedMiddles int
 }
 
 func (e *ConflictError) Error() string {
+	if e.FailedMiddles > 0 {
+		return fmt.Sprintf("fred: routing conflict at level %d: flows %v cannot be %d-colored (%d of %d middles failed)",
+			e.Level, e.Flows, e.M-e.FailedMiddles, e.FailedMiddles, e.M)
+	}
 	return fmt.Sprintf("fred: routing conflict at level %d: flows %v cannot be %d-colored",
 		e.Level, e.Flows, e.M)
 }
@@ -159,6 +167,9 @@ func (ic *Interconnect) routeStage(st *stage, flows []localFlow, plan *Plan, lev
 		return nil
 	}
 	if st.base != nil {
+		if ic.ElementFailed(st.base.ID) {
+			return &DeadSwitchError{Level: level, Element: st.base.Label, Flows: flowIDs(flows)}
+		}
 		for _, f := range flows {
 			addConn(plan, st.base, Connection{In: f.ips, Out: f.ops, Flow: f.id})
 		}
@@ -194,6 +205,36 @@ func (ic *Interconnect) routeStage(st *stage, flows []localFlow, plan *Plan, lev
 			}
 		}
 	}
+	// A failed input/output µswitch (or odd-port mux/demux) owns its
+	// external ports outright — no middle-stage spare path can bypass
+	// it — so flows wired through one are dead, not re-plannable.
+	if ic.failed != nil {
+		for s, e := range st.inputs {
+			if ic.failed[e.ID] {
+				if ids := flowsUsingSwitch(flows, inSW, s); len(ids) > 0 {
+					return &DeadSwitchError{Level: level, Element: e.Label, Flows: ids}
+				}
+			}
+		}
+		for s, e := range st.outputs {
+			if ic.failed[e.ID] {
+				if ids := flowsUsingSwitch(flows, outSW, s); len(ids) > 0 {
+					return &DeadSwitchError{Level: level, Element: e.Label, Flows: ids}
+				}
+			}
+		}
+		if st.odd && ic.failed[st.demux.ID] {
+			if ids := flowsWithOdd(flows, oddIn); len(ids) > 0 {
+				return &DeadSwitchError{Level: level, Element: st.demux.Label, Flows: ids}
+			}
+		}
+		if st.odd && ic.failed[st.mux.ID] {
+			if ids := flowsWithOdd(flows, oddOut); len(ids) > 0 {
+				return &DeadSwitchError{Level: level, Element: st.mux.Label, Flows: ids}
+			}
+		}
+	}
+
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			conflict := false
@@ -218,13 +259,19 @@ func (ic *Interconnect) routeStage(st *stage, flows []localFlow, plan *Plan, lev
 		}
 	}
 
-	colors, ok := colorGraph(adj, ic.m)
+	// Clos spare paths: a middle subnetwork with an internal failure is
+	// banned from the palette, and the coloring re-plans over the
+	// survivors.
+	banned := ic.bannedMiddles(st)
+	colors, ok := colorGraph(adj, ic.m, banned)
 	if !ok {
-		ids := make([]int, n)
-		for i, f := range flows {
-			ids[i] = f.id
+		nBanned := 0
+		for _, b := range banned {
+			if b {
+				nBanned++
+			}
 		}
-		return &ConflictError{Level: level, Flows: ids, M: ic.m}
+		return &ConflictError{Level: level, Flows: flowIDs(flows), M: ic.m, FailedMiddles: nBanned}
 	}
 
 	// Configure this level and project sub-flows per middle subnetwork.
@@ -259,12 +306,45 @@ func (ic *Interconnect) routeStage(st *stage, flows []localFlow, plan *Plan, lev
 	return nil
 }
 
+// flowIDs extracts the original flow indices of a level's flows.
+func flowIDs(flows []localFlow) []int {
+	ids := make([]int, len(flows))
+	for i, f := range flows {
+		ids[i] = f.id
+	}
+	return ids
+}
+
+// flowsUsingSwitch returns the original IDs of flows whose port map
+// references first/last-stage µswitch s.
+func flowsUsingSwitch(flows []localFlow, sw []map[int][]int, s int) []int {
+	var ids []int
+	for i := range flows {
+		if _, ok := sw[i][s]; ok {
+			ids = append(ids, flows[i].id)
+		}
+	}
+	return ids
+}
+
+// flowsWithOdd returns the original IDs of flows using the odd port.
+func flowsWithOdd(flows []localFlow, odd []bool) []int {
+	var ids []int
+	for i := range flows {
+		if odd[i] {
+			ids = append(ids, flows[i].id)
+		}
+	}
+	return ids
+}
+
 // colorGraph finds a proper coloring of the conflict graph with at
 // most m colors via exact backtracking, visiting vertices in
-// descending-degree order. Conflict graphs are small (one node per
-// concurrent flow), so exact search is cheap and — unlike greedy —
-// never reports a spurious conflict.
-func colorGraph(adj [][]bool, m int) ([]int, bool) {
+// descending-degree order. banned (optional) removes colors whose
+// middle subnetwork is out of service. Conflict graphs are small (one
+// node per concurrent flow), so exact search is cheap and — unlike
+// greedy — never reports a spurious conflict.
+func colorGraph(adj [][]bool, m int, banned []bool) ([]int, bool) {
 	n := len(adj)
 	order := make([]int, n)
 	for i := range order {
@@ -291,18 +371,26 @@ func colorGraph(adj [][]bool, m int) ([]int, bool) {
 		}
 		v := order[k]
 		// Symmetry breaking: the first vertex can take color 0 only;
-		// later vertices may only use colors 0..(max used + 1).
-		maxUsed := -1
-		for i := 0; i < k; i++ {
-			if colors[order[i]] > maxUsed {
-				maxUsed = colors[order[i]]
+		// later vertices may only use colors 0..(max used + 1). Banned
+		// colors break the palette's symmetry, so the pruning is only
+		// sound on a healthy interconnect.
+		limit := m - 1
+		if banned == nil {
+			maxUsed := -1
+			for i := 0; i < k; i++ {
+				if colors[order[i]] > maxUsed {
+					maxUsed = colors[order[i]]
+				}
+			}
+			limit = maxUsed + 1
+			if limit >= m {
+				limit = m - 1
 			}
 		}
-		limit := maxUsed + 1
-		if limit >= m {
-			limit = m - 1
-		}
 		for c := 0; c <= limit; c++ {
+			if banned != nil && banned[c] {
+				continue
+			}
 			ok := true
 			for u := 0; u < n; u++ {
 				if adj[v][u] && colors[u] == c {

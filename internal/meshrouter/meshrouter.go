@@ -99,6 +99,13 @@ type Mesh struct {
 	cycles    int
 	// channel utilization: busy cycles per (node, direction-out).
 	busy map[[2]int]int
+	// failed holds directed channels taken out of service, keyed by
+	// (node, direction). Empty while the mesh is healthy.
+	failed map[[2]int]bool
+	// table is the detour route table (next hop per node×dst pair),
+	// built from BFS over alive channels once any channel has failed.
+	table      []Direction
+	tableDirty bool
 }
 
 // New creates an empty mesh NoC.
@@ -138,8 +145,9 @@ func (m *Mesh) Inject(src, dst, flits int) *Message {
 func (m *Mesh) coord(i int) (int, int) { return i % m.cfg.W, i / m.cfg.W }
 func (m *Mesh) index(x, y int) int     { return y*m.cfg.W + x }
 
-// route returns the output direction at node cur toward dst (X first).
-func (m *Mesh) route(cur, dst int) Direction {
+// xyRoute returns the output direction at node cur toward dst
+// (X first). Only valid on a healthy mesh.
+func (m *Mesh) xyRoute(cur, dst int) Direction {
 	cx, cy := m.coord(cur)
 	dx, dy := m.coord(dst)
 	switch {
@@ -156,8 +164,23 @@ func (m *Mesh) route(cur, dst int) Direction {
 	}
 }
 
-// neighbor returns the node reached from cur via direction d.
-func (m *Mesh) neighbor(cur int, d Direction) int {
+// route returns the output direction at node cur toward dst: the X-Y
+// direction on a healthy mesh, the BFS detour table's next hop on a
+// degraded one. ok is false when dst is unreachable from cur.
+func (m *Mesh) route(cur, dst int) (Direction, bool) {
+	if len(m.failed) == 0 {
+		return m.xyRoute(cur, dst), true
+	}
+	if m.tableDirty {
+		m.rebuildTable()
+	}
+	d := m.table[cur*len(m.routers)+dst]
+	return d, d != unroutable
+}
+
+// neighbor returns the node reached from cur via direction d, or
+// ok = false when that step would leave the mesh.
+func (m *Mesh) neighbor(cur int, d Direction) (int, bool) {
 	x, y := m.coord(cur)
 	switch d {
 	case East:
@@ -170,9 +193,9 @@ func (m *Mesh) neighbor(cur int, d Direction) int {
 		y--
 	}
 	if x < 0 || x >= m.cfg.W || y < 0 || y >= m.cfg.H {
-		panic("meshrouter: route left the mesh")
+		return -1, false
 	}
-	return m.index(x, y)
+	return m.index(x, y), true
 }
 
 // opposite maps an output direction to the receiver's input port.
@@ -191,9 +214,20 @@ func opposite(d Direction) Direction {
 }
 
 // Run simulates until every injected message is delivered, returning
-// the cycle count. It panics if the network stops making progress
-// (impossible under X-Y routing unless the model is broken).
-func (m *Mesh) Run() int {
+// the cycle count. On a degraded mesh (FailChannel/FailRouter) it
+// returns an UnroutableError when an injected message has no alive
+// path, and a progress error if detour traffic wedges — X-Y's
+// deadlock-freedom guarantee does not survive arbitrary detours.
+func (m *Mesh) Run() (int, error) {
+	for idx := range m.msgs {
+		msg := m.msgs[idx]
+		if msg.Delivered >= 0 {
+			continue
+		}
+		if _, ok := m.route(msg.Src, msg.Dst); !ok {
+			return m.cycles, &UnroutableError{Msg: idx, Src: msg.Src, Dst: msg.Dst}
+		}
+	}
 	const stallLimit = 1 << 16
 	stall := 0
 	for !m.done() {
@@ -202,12 +236,14 @@ func (m *Mesh) Run() int {
 		} else {
 			stall++
 			if stall > stallLimit {
-				panic("meshrouter: deadlock or livelock detected")
+				return m.cycles, fmt.Errorf(
+					"meshrouter: no forward progress after %d idle cycles (%d failed channels)",
+					stallLimit, len(m.failed))
 			}
 		}
 		m.cycles++
 	}
-	return m.cycles
+	return m.cycles, nil
 }
 
 // Cycles returns the simulated cycle count so far.
@@ -230,6 +266,7 @@ func (m *Mesh) done() bool {
 type move struct {
 	fromNode int
 	fromPort Direction
+	out      Direction
 	toNode   int
 	toPort   Direction
 	deliver  bool
@@ -248,9 +285,11 @@ func (m *Mesh) step() bool {
 				// Find the owner's input port head flit.
 				for in := Direction(0); in < numPorts; in++ {
 					q := &r.in[in]
-					if len(q.q) > 0 && q.q[0].msg == r.outOwner[out] && m.route(node, q.q[0].dst) == out {
-						granted = int(in)
-						break
+					if len(q.q) > 0 && q.q[0].msg == r.outOwner[out] {
+						if d, ok := m.route(node, q.q[0].dst); ok && d == out {
+							granted = int(in)
+							break
+						}
 					}
 				}
 				if granted < 0 {
@@ -261,10 +300,12 @@ func (m *Mesh) step() bool {
 				for k := 0; k < int(numPorts); k++ {
 					in := Direction((r.rrNext[out] + k) % int(numPorts))
 					q := &r.in[in]
-					if len(q.q) > 0 && m.route(node, q.q[0].dst) == out {
-						granted = int(in)
-						r.rrNext[out] = (int(in) + 1) % int(numPorts)
-						break
+					if len(q.q) > 0 {
+						if d, ok := m.route(node, q.q[0].dst); ok && d == out {
+							granted = int(in)
+							r.rrNext[out] = (int(in) + 1) % int(numPorts)
+							break
+						}
 					}
 				}
 				if granted < 0 {
@@ -272,16 +313,19 @@ func (m *Mesh) step() bool {
 				}
 			}
 			if out == Local {
-				moves = append(moves, move{fromNode: node, fromPort: Direction(granted), deliver: true})
+				moves = append(moves, move{fromNode: node, fromPort: Direction(granted), out: Local, deliver: true})
 				continue
 			}
 			// Credit check at the receiver.
-			next := m.neighbor(node, out)
+			next, ok := m.neighbor(node, out)
+			if !ok {
+				continue // stale table entry pointing off-mesh: unroutable
+			}
 			inPort := opposite(out)
 			if len(m.routers[next].in[inPort].q) >= m.cfg.BufferFlits {
 				continue
 			}
-			moves = append(moves, move{fromNode: node, fromPort: Direction(granted), toNode: next, toPort: inPort})
+			moves = append(moves, move{fromNode: node, fromPort: Direction(granted), out: out, toNode: next, toPort: inPort})
 		}
 	}
 	// Injections: one flit per source per cycle into the Local input,
@@ -312,7 +356,7 @@ func (m *Mesh) step() bool {
 		q := &r.in[mv.fromPort]
 		f := q.q[0]
 		q.q = q.q[1:]
-		out := m.route(mv.fromNode, f.dst)
+		out := mv.out
 		m.busy[[2]int{mv.fromNode, int(out)}]++
 		if mv.deliver {
 			m.delivered[f.msg]++

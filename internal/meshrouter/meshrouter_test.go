@@ -41,7 +41,10 @@ func TestThroughputLineRate(t *testing.T) {
 	for i := 0; i < n; i++ {
 		last = m.Inject(0, 4, 8) // along the top row
 	}
-	cycles := m.Run()
+	cycles, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	_ = last
 	// 128 flits over a 4-hop path: pipeline depth + 128 cycles.
 	if cycles > 128+12 {

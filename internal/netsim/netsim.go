@@ -58,6 +58,10 @@ type Link struct {
 	net       *Network
 	bytesDone float64 // cumulative bytes carried, for utilisation reports
 	peakUtil  float64 // max instantaneous utilization (telemetry/tracing only)
+	// Fault state (see faults.go): a failed link admits no flows, and
+	// baseBW remembers the healthy bandwidth across Degrade/Restore.
+	failed bool
+	baseBW float64
 	// utilHist is the link's time-weighted utilization distribution,
 	// registered lazily on the network's metrics registry (SetMetrics)
 	// in link-ID order; nil while metrics are off.
@@ -98,6 +102,10 @@ const (
 	FlowPaused
 	// FlowDone means the flow completed (or was canceled).
 	FlowDone
+	// FlowFailed means the flow was aborted by a link failure after
+	// exhausting its retry budget (or with no reroute path configured).
+	// Its Done callback never ran; OnFail did.
+	FlowFailed
 )
 
 func (s FlowState) String() string {
@@ -110,6 +118,8 @@ func (s FlowState) String() string {
 		return "paused"
 	case FlowDone:
 		return "done"
+	case FlowFailed:
+		return "failed"
 	}
 	return fmt.Sprintf("FlowState(%d)", int(s))
 }
@@ -129,6 +139,16 @@ type FlowSpec struct {
 	// Done is called when the final byte is delivered. It may start new
 	// flows or schedule events.
 	Done func(*Flow)
+	// Reroute, when non-nil, makes the flow survivable: after a link on
+	// its route fails, the flow is torn down (keeping its remaining byte
+	// count) and re-admitted on the route Reroute returns, after a
+	// bounded exponential backoff (see RetryPolicy). attempt is the
+	// 1-based retry count. Returning ok=false — no alternative route
+	// exists — aborts the flow. A nil Reroute aborts on first failure.
+	Reroute func(attempt int) ([]LinkID, bool)
+	// OnFail is called when the flow is aborted by a link failure (its
+	// Done callback never runs). It may start new flows.
+	OnFail func(*Flow)
 	// Label tags the flow for debugging and accounting.
 	Label string
 }
@@ -161,6 +181,9 @@ type Flow struct {
 	fillFrozen bool     // progressive-filling scratch
 	stageStart sim.Time // start of the current lifecycle stage (tracing)
 	lastRate   float64  // last rate sample emitted to the tracer
+	reroute    func(attempt int) ([]LinkID, bool)
+	onFail     func(*Flow)
+	retries    int // link-failure teardowns suffered so far
 }
 
 // ID returns the flow's network-unique sequence number (assigned in
@@ -181,6 +204,11 @@ func (f *Flow) Remaining() float64 {
 
 // Rate returns the flow's current max-min fair rate in bytes/second.
 func (f *Flow) Rate() float64 { return f.rate }
+
+// Retries returns how many times the flow has been torn down by a link
+// failure (each teardown either re-admits the flow via Reroute or, once
+// the retry budget is exhausted, aborts it).
+func (f *Flow) Retries() int { return f.retries }
 
 // Label returns the flow's tag.
 func (f *Flow) Label() string { return f.label }
@@ -244,6 +272,14 @@ type Network struct {
 	mFlowsStarted   *metrics.Series
 	mFlowsCompleted *metrics.Series
 	mBytesDelivered *metrics.Series
+	mFlowsRerouted  *metrics.Series
+	mFlowsAborted   *metrics.Series
+
+	// Fault bookkeeping (faults.go): the retry policy applied to flows
+	// torn down by link failures, and a reused scratch slice for
+	// collecting the flows crossing a failing link.
+	retry       RetryPolicy
+	failScratch []*Flow
 
 	name       string // trace namespace (SetName)
 	catFlow    string
@@ -253,7 +289,7 @@ type Network struct {
 
 // New creates an empty network driven by the given scheduler.
 func New(s *sim.Scheduler) *Network {
-	n := &Network{sched: s}
+	n := &Network{sched: s, retry: DefaultRetryPolicy()}
 	n.recomputeFn = n.recompute
 	n.SetName("")
 	return n
@@ -306,12 +342,15 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 	n.metrics = reg
 	if reg == nil {
 		n.mFlowsStarted, n.mFlowsCompleted, n.mBytesDelivered = nil, nil, nil
+		n.mFlowsRerouted, n.mFlowsAborted = nil, nil
 		return
 	}
 	n.telemetry = true
 	n.mFlowsStarted = reg.Counter("net/flows_started", "")
 	n.mFlowsCompleted = reg.Counter("net/flows_completed", "")
 	n.mBytesDelivered = reg.Counter("net/bytes_delivered", "B")
+	n.mFlowsRerouted = reg.Counter("net/flows_rerouted", "")
+	n.mFlowsAborted = reg.Counter("net/flows_aborted", "")
 	n.lastObserve = n.sched.Now()
 }
 
@@ -412,6 +451,8 @@ func (n *Network) StartFlow(spec FlowSpec) *Flow {
 		total:      spec.Bytes,
 		remaining:  spec.Bytes,
 		done:       spec.Done,
+		reroute:    spec.Reroute,
+		onFail:     spec.OnFail,
 		started:    n.sched.Now(),
 		stageStart: n.sched.Now(),
 		state:      FlowLatency,
@@ -514,6 +555,15 @@ func (n *Network) traceStage(f *Flow, stage string) {
 
 func (n *Network) activate(f *Flow) {
 	n.traceStage(f, "latency")
+	// A route link may have failed while the flow waited out its
+	// latency (or while it was paused): divert to the retry path
+	// instead of occupying a dead link.
+	for _, l := range f.links {
+		if l.failed {
+			n.flowRouteFailed(f)
+			return
+		}
+	}
 	if f.remaining <= 0 {
 		f.state = FlowActive // momentarily, for finish bookkeeping
 		n.finish(f)
@@ -588,7 +638,7 @@ func (f *Flow) Cancel() {
 		n.traceStage(f, "latency")
 	case FlowPaused:
 		n.traceStage(f, "paused")
-	case FlowDone:
+	case FlowDone, FlowFailed:
 		return
 	}
 	f.state = FlowDone

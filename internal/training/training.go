@@ -250,8 +250,11 @@ func Simulate(cfg Config) (*Report, error) {
 	return e.runStationary()
 }
 
-// MustSimulate panics on error, for examples and benchmarks of known-
-// good configurations.
+// MustSimulate panics on error, for tests and benchmarks of known-good
+// configurations — a Must-style assertion like regexp.MustCompile.
+// Production callers (experiments, fredsim) use Simulate and handle
+// the error: on a degraded wafer a rejected configuration is an
+// expected outcome, not a bug.
 func MustSimulate(cfg Config) *Report {
 	r, err := Simulate(cfg)
 	if err != nil {
