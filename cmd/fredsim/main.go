@@ -57,6 +57,13 @@
 //	                  training breakdowns, per-NPU attribution); compare
 //	                  two artifacts with cmd/fredreport. Byte-identical
 //	                  at every -parallel N.
+//	-critpath f.json  write a versioned fred-critpath artifact: the
+//	                  per-iteration causal critical path of every
+//	                  training run (blame decomposition into compute /
+//	                  comm-serialized / comm-contention / fault-recovery
+//	                  / idle, dominant segments with binding links);
+//	                  summarize it with fredtrace -critpath.
+//	                  Byte-identical at every -parallel N.
 //	-cpuprofile f     write a runtime/pprof CPU profile of the
 //	                  simulator process itself
 package main
@@ -68,12 +75,23 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/experiments"
 	"github.com/wafernet/fred/internal/metrics"
 	"github.com/wafernet/fred/internal/parallelism"
 	"github.com/wafernet/fred/internal/report"
 	"github.com/wafernet/fred/internal/trace"
 )
+
+// studyNames lists every experiment fredsim accepts, in usage order.
+// The unknown-study error prints this list, so a typo tells the user
+// what would have worked.
+var studyNames = []string{
+	"fig1", "fig2", "fig9", "fig10", "fig11a", "fig11b", "meshio",
+	"placement", "nonaligned", "scaling", "inference", "crossover",
+	"batch", "profile", "packets", "heat", "hw", "ablations", "ep",
+	"faults", "summary", "all",
+}
 
 func main() {
 	flag.Usage = usage
@@ -104,6 +122,7 @@ func main() {
 	tracePath := ""
 	linkStats := false
 	metricsPath := ""
+	critPathOut := ""
 	cpuProfile := ""
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	fs.BoolVar(&includeAB, "ab", false, "include Fred-A and Fred-B in fig10")
@@ -112,6 +131,7 @@ func main() {
 	fs.StringVar(&tracePath, "trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	fs.BoolVar(&linkStats, "linkstats", false, "report top-10 link hotspots per training run")
 	fs.StringVar(&metricsPath, "metrics", "", "write a fred-metrics JSON artifact (manifest + all series) to this file")
+	fs.StringVar(&critPathOut, "critpath", "", "write a fred-critpath JSON artifact (per-iteration blame decomposition) to this file")
 	fs.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile of the simulator to this file")
 	if err := fs.Parse(rest); err != nil {
 		os.Exit(2)
@@ -130,6 +150,9 @@ func main() {
 	}
 	if metricsPath != "" {
 		session.CollectMetrics(true)
+	}
+	if critPathOut != "" {
+		session.CollectCritPath(true)
 	}
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
@@ -239,7 +262,8 @@ func main() {
 			}
 		}
 	} else if !run(cmd) {
-		fmt.Fprintf(os.Stderr, "fredsim: unknown experiment %q\n\n", cmd)
+		fmt.Fprintf(os.Stderr, "fredsim: unknown experiment %q (valid: %s)\n\n",
+			cmd, strings.Join(studyNames, " "))
 		usage()
 		os.Exit(2)
 	}
@@ -256,14 +280,14 @@ func main() {
 	if linkStats {
 		emit(session.LinkStatsTables()...)
 	}
+	// The manifest records what was simulated, never how the work was
+	// scheduled (-parallel, file paths), so artifacts from any pool size
+	// compare byte-for-byte.
+	command := cmd
+	if includeAB {
+		command += " -ab"
+	}
 	if metricsPath != "" {
-		// The manifest records what was simulated, never how the work
-		// was scheduled (-parallel, file paths), so artifacts from any
-		// pool size compare byte-for-byte.
-		command := cmd
-		if includeAB {
-			command += " -ab"
-		}
 		art := session.Metrics().Export(metrics.Manifest{
 			Tool:    "fredsim",
 			Command: command,
@@ -274,6 +298,18 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "fredsim: wrote %d metric series to %s\n",
 			len(art.Series), metricsPath)
+	}
+	if critPathOut != "" {
+		art := critpath.Export(metrics.Manifest{
+			Tool:    "fredsim",
+			Command: command,
+		}, session.CritPathCells())
+		if err := art.WriteFile(critPathOut); err != nil {
+			fmt.Fprintln(os.Stderr, "fredsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fredsim: wrote %d critical-path iterations to %s\n",
+			len(art.Cells), critPathOut)
 	}
 	if rec != nil {
 		if err := rec.WriteFile(tracePath); err != nil {
@@ -291,10 +327,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fredsim <experiment> [-ab] [-csv] [-parallel N] [-trace out.json]
-               [-linkstats] [-metrics out.json] [-cpuprofile out.pprof]
+               [-linkstats] [-metrics out.json] [-critpath out.json]
+               [-cpuprofile out.pprof]
        fredsim -study <experiment> [flags]
 
-experiments: fig1 fig2 fig9 fig10 fig11a fig11b meshio placement nonaligned
-             scaling inference crossover batch profile packets heat hw
-             ablations ep faults summary all`)
+experiments: `+strings.Join(studyNames, " "))
 }

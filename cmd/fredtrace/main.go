@@ -7,9 +7,15 @@
 // series in the trace — link utilization, scheduler event counts, and
 // any future counters alike).
 //
+// With -critpath, fredtrace instead summarizes a fred-critpath JSON
+// artifact (fredsim/fredtrain -critpath): per-iteration blame buckets
+// (compute / comm-serialized / comm-contention / fault-recovery /
+// idle) and the top-k critical-path segments with their binding links.
+//
 // Usage:
 //
-//	fredtrace [-k 10] [-csv] trace.json
+//	fredtrace [-k 10] [-top N] [-csv] trace.json
+//	fredtrace [-k 10] [-csv] -critpath artifact.json
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/report"
 )
 
@@ -32,10 +39,38 @@ func hasCat(cat, base string) bool {
 
 func main() {
 	k := flag.Int("k", 10, "rows per table")
+	top := flag.Int("top", 0, "bound the flow-stage and counter-track tables to the top N rows (0 = all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	critPathIn := flag.String("critpath", "", "summarize this fred-critpath JSON artifact instead of a trace")
 	flag.Parse()
+
+	emit := func(tables []*report.Table) {
+		for _, t := range tables {
+			if *csv {
+				fmt.Print(t.CSV())
+				fmt.Println()
+			} else {
+				fmt.Println(t)
+			}
+		}
+	}
+
+	if *critPathIn != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: fredtrace [-k 10] [-csv] -critpath artifact.json")
+			os.Exit(2)
+		}
+		art, err := critpath.ReadFile(*critPathIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fredtrace:", err)
+			os.Exit(1)
+		}
+		emit(critPathTables(art, *k))
+		return
+	}
+
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fredtrace [-k 10] [-csv] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: fredtrace [-k 10] [-top N] [-csv] trace.json")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
@@ -43,19 +78,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fredtrace:", err)
 		os.Exit(1)
 	}
-	tables, err := summarize(data, *k)
+	tables, err := summarize(data, *k, *top)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fredtrace:", err)
 		os.Exit(1)
 	}
-	for _, t := range tables {
-		if *csv {
-			fmt.Print(t.CSV())
-			fmt.Println()
-		} else {
-			fmt.Println(t)
-		}
-	}
+	emit(tables)
 }
 
 // traceEvent is the subset of the Chrome trace-event fields the
@@ -82,8 +110,11 @@ type span struct {
 }
 
 // summarize parses a trace and builds the summary tables: top-k
-// collective spans, top-k busiest links, and flow-stage totals.
-func summarize(data []byte, k int) ([]*report.Table, error) {
+// collective spans, top-k busiest links, flow-stage totals, and
+// counter-track summaries. top, when positive, bounds the flow-stage
+// and counter-track tables to their first top rows (the ordering is
+// unchanged; a note records what was elided).
+func summarize(data []byte, k, top int) ([]*report.Table, error) {
 	var tf traceFile
 	if err := json.Unmarshal(data, &tf); err != nil {
 		return nil, fmt.Errorf("parsing trace: %w", err)
@@ -260,9 +291,16 @@ func summarize(data []byte, k int) ([]*report.Table, error) {
 		Title:  "Flow lifecycle stages",
 		Header: []string{"stage", "spans", "total time", "longest"},
 	}
-	for _, name := range stageOrder {
+	flowShown := len(stageOrder)
+	if top > 0 && top < flowShown {
+		flowShown = top
+	}
+	for _, name := range stageOrder[:flowShown] {
 		agg := stages[name]
 		flowTbl.AddRow(name, agg.count, report.FormatSeconds(agg.total/1e6), report.FormatSeconds(agg.longest/1e6))
+	}
+	if flowShown < len(stageOrder) {
+		flowTbl.AddNote("showing %d of %d stages (-top)", flowShown, len(stageOrder))
 	}
 
 	// Counter-track summaries, sorted by (track, series) so the table
@@ -281,13 +319,84 @@ func summarize(data []byte, k int) ([]*report.Table, error) {
 		Title:  "Counter tracks",
 		Header: []string{"track", "series", "samples", "min", "mean", "max"},
 	}
-	for _, agg := range aggs {
+	ctrShown := len(aggs)
+	if top > 0 && top < ctrShown {
+		ctrShown = top
+	}
+	for _, agg := range aggs[:ctrShown] {
 		ctrTbl.AddRow(agg.track, agg.series, agg.count,
 			fmt.Sprintf("%.4g", agg.min),
 			fmt.Sprintf("%.4g", agg.sum/float64(agg.count)),
 			fmt.Sprintf("%.4g", agg.max))
 	}
+	if ctrShown < len(aggs) {
+		ctrTbl.AddNote("showing %d of %d counter series (-top)", ctrShown, len(aggs))
+	}
 	ctrTbl.AddNote("sample statistics (not time-weighted); %d counter series", len(aggs))
 
 	return []*report.Table{commTbl, linkTbl, flowTbl, ctrTbl}, nil
+}
+
+// critPathTables builds the blame-report tables of a fred-critpath
+// artifact: one bucket-decomposition row per iteration, then each
+// iteration's top-k critical-path segments with their binding links.
+func critPathTables(art *critpath.Artifact, k int) []*report.Table {
+	sumTbl := &report.Table{
+		Title:  "Critical-path blame decomposition",
+		Header: []string{"iteration", "total", "compute", "comm-ser", "comm-cont", "fault", "idle", "path-len", "dag"},
+	}
+	for i, it := range art.Cells {
+		sumTbl.AddRow(cellLabel(i, it.Label),
+			report.FormatSeconds(it.Total), report.FormatSeconds(it.Compute),
+			report.FormatSeconds(it.CommSerial), report.FormatSeconds(it.CommContention),
+			report.FormatSeconds(it.FaultRecovery), report.FormatSeconds(it.Idle),
+			report.FormatSeconds(it.PathLen),
+			fmt.Sprintf("%dn/%de", it.DagNodes, it.DagEdges))
+	}
+	sumTbl.AddNote("buckets sum to total; %d iterations in %s", len(art.Cells), art.Schema)
+	tables := []*report.Table{sumTbl}
+
+	for i, it := range art.Cells {
+		segTbl := &report.Table{
+			Title:  "Top critical-path segments: " + cellLabel(i, it.Label),
+			Header: []string{"segment", "class", "start", "duration", "comm-ser", "comm-cont", "fault", "binding link"},
+		}
+		n := len(it.Segments)
+		if k > 0 && k < n {
+			n = k
+		}
+		for _, s := range it.Segments[:n] {
+			bind := s.BindLink
+			if bind == "" {
+				bind = "-"
+			}
+			segTbl.AddRow(s.Label, orDash(s.Class), report.FormatSeconds(s.Start),
+				report.FormatSeconds(s.Duration()),
+				report.FormatSeconds(s.Blame.Serial), report.FormatSeconds(s.Blame.Contention),
+				report.FormatSeconds(s.Blame.Fault), bind)
+		}
+		elided := len(it.Segments) - n + it.Dropped
+		if elided > 0 {
+			segTbl.AddNote("showing %d of %d segments", n, len(it.Segments)+it.Dropped)
+		}
+		tables = append(tables, segTbl)
+	}
+	return tables
+}
+
+// cellLabel names an artifact cell, falling back to its index for
+// unlabeled single-run artifacts.
+func cellLabel(i int, label string) string {
+	if label != "" {
+		return label
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+// orDash substitutes "-" for an empty table cell.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }

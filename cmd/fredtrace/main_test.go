@@ -38,7 +38,7 @@ func record(t *testing.T) []byte {
 }
 
 func TestSummarize(t *testing.T) {
-	tables, err := summarize(record(t), 10)
+	tables, err := summarize(record(t), 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestSummarizeTopK(t *testing.T) {
-	tables, err := summarize(record(t), 1)
+	tables, err := summarize(record(t), 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestSummarizeTopK(t *testing.T) {
 }
 
 func TestSummarizeRejectsGarbage(t *testing.T) {
-	if _, err := summarize([]byte("not json"), 5); err == nil {
+	if _, err := summarize([]byte("not json"), 5, 0); err == nil {
 		t.Fatal("summarize accepted invalid JSON")
 	}
 }

@@ -7,7 +7,7 @@
 //	fredtrain [-model t17b] [-system Fred-D] [-mp 3 -dp 3 -pp 2]
 //	          [-batch 16] [-schedule gpipe|1f1b] [-buckets 1] [-profile]
 //	          [-trace out.json] [-linkstats] [-metrics out.json]
-//	          [-cpuprofile out.pprof]
+//	          [-critpath out.json] [-cpuprofile out.pprof]
 //
 // Models: resnet152, t17b, gpt3, t1t.
 // Systems: Baseline, Fred-A, Fred-B, Fred-C, Fred-D.
@@ -18,7 +18,11 @@
 // hotspots of the run; -metrics writes a versioned fred-metrics JSON
 // artifact (run manifest, iteration breakdown, per-class comm profile,
 // per-NPU time attribution, per-link utilization distributions) for
-// cmd/fredreport; -cpuprofile profiles the simulator itself.
+// cmd/fredreport; -critpath records the iteration's causal critical
+// path and writes a fred-critpath JSON artifact (blame decomposition
+// into compute / comm-serialized / comm-contention / fault-recovery /
+// idle, dominant segments with binding links) for fredtrace -critpath;
+// -cpuprofile profiles the simulator itself.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"strings"
 
 	fredapi "github.com/wafernet/fred"
+	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/experiments"
 	"github.com/wafernet/fred/internal/metrics"
 	"github.com/wafernet/fred/internal/trace"
@@ -49,6 +54,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	linkStats := flag.Bool("linkstats", false, "print the top-10 link hotspots of the run")
 	metricsPath := flag.String("metrics", "", "write a fred-metrics JSON artifact (manifest + all series) to this file")
+	critPathOut := flag.String("critpath", "", "write a fred-critpath JSON artifact (per-iteration blame decomposition) to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 	flag.Parse()
 
@@ -102,6 +108,9 @@ func main() {
 		session.CollectMetrics(true)
 	}
 	wafer := session.Build(experiments.System(*system))
+	if *critPathOut != "" {
+		wafer.Network().SetCritPath(critpath.NewRecorder())
+	}
 	cfg := training.Config{
 		Wafer:               wafer,
 		Model:               m,
@@ -158,6 +167,30 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "fredtrain: wrote %d metric series to %s\n",
 			len(art.Series), *metricsPath)
+	}
+	if *critPathOut != "" {
+		if r.CritPath == nil {
+			fmt.Fprintln(os.Stderr, "fredtrain: no critical path recorded")
+			os.Exit(1)
+		}
+		it := *r.CritPath
+		it.Label = fmt.Sprintf("%s %v on %s", m.Name, strat, *system)
+		fmt.Printf("critical path: compute %.4gs  comm-ser %.4gs  comm-cont %.4gs  fault %.4gs  idle %.4gs\n",
+			it.Compute, it.CommSerial, it.CommContention, it.FaultRecovery, it.Idle)
+		art := critpath.Export(metrics.Manifest{
+			Tool:            "fredtrain",
+			Workload:        m.Name,
+			System:          *system,
+			Strategy:        strat.String(),
+			BatchPerReplica: *batch,
+			Schedule:        sched.String(),
+		}, []critpath.Iteration{it})
+		if err := art.WriteFile(*critPathOut); err != nil {
+			fmt.Fprintln(os.Stderr, "fredtrain:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fredtrain: wrote %d critical-path iterations to %s\n",
+			len(art.Cells), *critPathOut)
 	}
 	if *linkStats {
 		fmt.Printf("\n%s", wafer.Network().HotspotTable(

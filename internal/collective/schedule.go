@@ -23,6 +23,7 @@ package collective
 import (
 	"fmt"
 
+	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/netsim"
 	"github.com/wafernet/fred/internal/sim"
 )
@@ -114,6 +115,17 @@ type Op struct {
 	started  sim.Time
 	finished sim.Time
 	err      error
+
+	// Critpath bookkeeping, only touched while the network has a
+	// recorder: the op's DAG node, the start of the current phase
+	// window, the accumulated blame over finished phase windows, and
+	// the binding link of the longest phase window.
+	rec        *critpath.Recorder
+	node       critpath.NodeID
+	phaseStart sim.Time
+	blame      critpath.Blame
+	bindLink   string
+	bindDur    float64
 }
 
 // Start begins executing a schedule on the network. onDone fires when
@@ -125,6 +137,15 @@ func Start(net *netsim.Network, schedule Schedule, onDone func(*Op)) *Op {
 		schedule: schedule,
 		onDone:   onDone,
 		started:  net.Scheduler().Now(),
+	}
+	if rec := net.CritPath(); rec != nil {
+		op.rec = rec
+		op.node = rec.Open(critpath.Node{
+			Kind:  critpath.KindOp,
+			Label: schedule.Name,
+			Start: op.started,
+		})
+		op.phaseStart = op.started
 	}
 	op.startPhase()
 	return op
@@ -186,23 +207,66 @@ func (op *Op) startPhase() {
 			lat = -1
 		}
 		op.active = append(op.active, op.net.StartFlow(netsim.FlowSpec{
-			Links:   t.Links,
-			Bytes:   t.Bytes,
-			Latency: lat,
-			Label:   op.schedule.Name,
-			Done:    func(*netsim.Flow) { op.flowDone() },
-			OnFail:  func(f *netsim.Flow) { op.flowAborted(f) },
+			Links:      t.Links,
+			Bytes:      t.Bytes,
+			Latency:    lat,
+			Label:      op.schedule.Name,
+			Done:       func(f *netsim.Flow) { op.flowDone(f) },
+			OnFail:     func(f *netsim.Flow) { op.flowAborted(f) },
+			CritParent: op.node,
 		}))
 	}
 }
 
-func (op *Op) flowDone() {
+func (op *Op) flowDone(f *netsim.Flow) {
 	op.pendingN--
 	if op.pendingN == 0 && op.state == OpRunning {
+		if op.rec != nil {
+			op.accountPhase(f)
+		}
 		op.phase++
 		op.startPhase()
 	}
 }
+
+// accountPhase closes the current phase window at the current time,
+// blaming it by the phase's critical flow — the last one to drain (its
+// completion is what let the phase advance). Phase windows tile
+// [started, finished] exactly (each opens where the previous closed),
+// so the accumulated blame sums to the op's duration; time spent
+// paused under arbitration falls into the window and — since a paused
+// flow accrues no stall — lands in Serial.
+func (op *Op) accountPhase(f *netsim.Flow) {
+	now := op.sched.Now()
+	elapsed := now - op.phaseStart
+	b := critpath.Blame{Serial: elapsed}
+	if f != nil {
+		b = critpath.ClampBlame(elapsed, f.ContentionStall(), f.FaultTime())
+	}
+	op.blame.Add(b)
+	if elapsed > op.bindDur {
+		op.bindDur = elapsed
+		op.bindLink = ""
+		if f != nil {
+			op.bindLink = f.BindLinkName()
+		}
+	}
+	op.phaseStart = now
+}
+
+// Blame returns the op's accumulated blame decomposition: the phase
+// windows closed so far, decomposed by each phase's critical flow.
+// For a completed op the parts sum to Duration exactly. Zero unless
+// the network has a critpath recorder.
+func (op *Op) Blame() critpath.Blame { return op.blame }
+
+// BindLink names the binding link of the op's longest phase window
+// ("" when no critical flow was frozen by a saturated link, or
+// critpath recording is off).
+func (op *Op) BindLink() string { return op.bindLink }
+
+// CritNode returns the op's DAG node id (0 when recording is off).
+func (op *Op) CritNode() critpath.NodeID { return op.node }
 
 // flowAborted handles one of the op's flows exhausting its retry
 // budget after a link failure: the whole collective fails.
@@ -225,6 +289,15 @@ func (op *Op) fail(err error) {
 		f.Cancel()
 	}
 	op.active = nil
+	if op.rec != nil {
+		// The open phase window was cut short by the fault: charge its
+		// tail to fault recovery and close the node as failed.
+		if tail := op.finished - op.phaseStart; tail > 0 {
+			op.blame.Fault += tail
+			op.phaseStart = op.finished
+		}
+		op.rec.Fail(op.node, op.finished, op.blame)
+	}
 	if op.onFail != nil {
 		op.onFail(op)
 	}
@@ -234,6 +307,9 @@ func (op *Op) complete() {
 	op.state = OpDone
 	op.finished = op.sched.Now()
 	op.active = nil
+	if op.rec != nil {
+		op.rec.Close(op.node, op.finished, op.blame, op.bindLink)
+	}
 	if op.onDone != nil {
 		op.onDone(op)
 	}
@@ -277,6 +353,23 @@ func RunToCompletionErr(net *netsim.Network, schedule Schedule) (sim.Time, error
 		return 0, err
 	}
 	return end - start, nil
+}
+
+// RunToCompletionBlame is RunToCompletionErr returning the op's blame
+// decomposition alongside the elapsed time: how much of the
+// collective's duration was serialized, lost to contention, or spent
+// in fault recovery. The network must have a critpath recorder
+// attached (SetCritPath) for the blame to be non-zero. On failure the
+// partial blame accumulated before the abort is still returned.
+func RunToCompletionBlame(net *netsim.Network, schedule Schedule) (sim.Time, critpath.Blame, error) {
+	start := net.Scheduler().Now()
+	var end sim.Time
+	op := Start(net, schedule, func(op *Op) { end = op.Finished() })
+	net.Scheduler().Run()
+	if err := op.Err(); err != nil {
+		return 0, op.blame, err
+	}
+	return end - start, op.blame, nil
 }
 
 // RunToCompletion is a convenience for tests and microbenchmarks on

@@ -1,0 +1,75 @@
+package critpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/wafernet/fred/internal/metrics"
+)
+
+// Schema is the critpath artifact schema identifier. Readers accept
+// any "fred-critpath/*" version.
+const Schema = "fred-critpath/v1"
+
+// Artifact is the versioned machine-readable blame record: a run
+// manifest (shared with fred-metrics artifacts) plus one analyzed
+// iteration per cell, in cell order.
+type Artifact struct {
+	Schema   string           `json:"schema"`
+	Manifest metrics.Manifest `json:"manifest"`
+	Cells    []Iteration      `json:"cells"`
+}
+
+// Export wraps analyzed iterations into an artifact, stamping the
+// manifest's engine version and canonical config hash.
+func Export(m metrics.Manifest, cells []Iteration) *Artifact {
+	return &Artifact{Schema: Schema, Manifest: m.Stamp(), Cells: cells}
+}
+
+// Encode renders the artifact as indented JSON with a trailing
+// newline. Encoding uses only structs and slices (no maps), so the
+// bytes are a pure function of the artifact — the basis of the
+// byte-identical-at-every-pool-size guarantee.
+func (a *Artifact) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Decode parses an artifact and validates its schema family.
+func Decode(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("critpath: parsing artifact: %w", err)
+	}
+	if !strings.HasPrefix(a.Schema, "fred-critpath/") {
+		return nil, fmt.Errorf("critpath: not a fred-critpath artifact (schema %q)", a.Schema)
+	}
+	return &a, nil
+}
+
+// WriteFile encodes the artifact to a file.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads and validates an artifact from a file.
+func ReadFile(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}

@@ -1,0 +1,56 @@
+package critpath
+
+import "sync"
+
+// Collector accumulates analyzed iterations produced by concurrent
+// experiment cells while guaranteeing a deterministic merge order —
+// the same slot-reservation pattern as metrics.Collector: a producer
+// reserves an ordered slot up front (in work-issue order) and fills it
+// whenever its cell completes; Cells folds the slots in reservation
+// order, so the exported artifact is byte-identical at every
+// worker-pool size.
+//
+// All methods are safe for concurrent use.
+type Collector struct {
+	mu    sync.Mutex
+	slots [][]Iteration
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Reserve allocates the next ordered slot and returns its index.
+func (c *Collector) Reserve() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots = append(c.slots, nil)
+	return len(c.slots) - 1
+}
+
+// Fill appends iterations to a previously reserved slot. It may be
+// called several times; iterations accumulate within the slot in call
+// order.
+func (c *Collector) Fill(slot int, cells ...Iteration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots[slot] = append(c.slots[slot], cells...)
+}
+
+// Append reserves a slot and fills it in one step — the sequential
+// producer's convenience.
+func (c *Collector) Append(cells ...Iteration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots = append(c.slots, cells)
+}
+
+// Cells returns every collected iteration, flattened in slot order.
+func (c *Collector) Cells() []Iteration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Iteration
+	for _, s := range c.slots {
+		out = append(out, s...)
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"github.com/wafernet/fred/internal/critpath"
+	"github.com/wafernet/fred/internal/metrics"
+	"github.com/wafernet/fred/internal/parallelism"
+	"github.com/wafernet/fred/internal/workload"
+)
+
+// TestCollectCritPathLabelsCells: a collecting session appends one
+// labeled iteration per training run.
+func TestCollectCritPathLabelsCells(t *testing.T) {
+	s := NewSession()
+	s.CollectCritPath(true)
+	strat := parallelism.Strategy{MP: 1, DP: 20, PP: 1}
+	if _, err := s.RunTraining(FredD, workload.ResNet152(), strat, 1); err != nil {
+		t.Fatal(err)
+	}
+	cells := s.CritPathCells()
+	if len(cells) != 1 {
+		t.Fatalf("collected %d cells, want 1", len(cells))
+	}
+	it := cells[0]
+	if it.Label != "ResNet-152 MP(1)-DP(20)-PP(1) on Fred-D" {
+		t.Fatalf("cell label = %q", it.Label)
+	}
+	sum := it.Compute + it.CommSerial + it.CommContention + it.FaultRecovery + it.Idle
+	if math.Abs(sum-it.Total) > 1e-9*it.Total {
+		t.Fatalf("buckets sum to %g, want %g", sum, it.Total)
+	}
+	// Re-enabling resets the collection.
+	s.CollectCritPath(true)
+	if len(s.CritPathCells()) != 0 {
+		t.Fatal("CollectCritPath(true) did not reset collected cells")
+	}
+}
+
+// TestCritPathOffByDefault: an unconfigured session records nothing
+// and its reports carry no CritPath.
+func TestCritPathOffByDefault(t *testing.T) {
+	s := NewSession()
+	r, err := s.RunTraining(Baseline, workload.ResNet152(), parallelism.Strategy{MP: 1, DP: 20, PP: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CritPath != nil {
+		t.Fatal("CritPath set with collection off")
+	}
+	if len(s.CritPathCells()) != 0 {
+		t.Fatal("cells collected with collection off")
+	}
+}
+
+// TestCritPathArtifactParallelGolden is the artifact acceptance gate:
+// the fred-critpath/v1 artifact exported from a Figure 2 sweep is
+// byte-identical between -parallel 1 and -parallel 4.
+func TestCritPathArtifactParallelGolden(t *testing.T) {
+	artifactOf := func(parallel int) string {
+		s := NewSession()
+		s.SetParallel(parallel)
+		s.CollectCritPath(true)
+		if _, tbl := s.Figure2(); tbl == nil {
+			t.Fatal("Figure2 returned no table")
+		}
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+		cells := s.CritPathCells()
+		if len(cells) == 0 {
+			t.Fatal("no critpath cells collected")
+		}
+		data, err := critpath.Export(metrics.Manifest{Tool: "test", Command: "fig2"}, cells).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	seq := artifactOf(1)
+	par := artifactOf(4)
+	if seq != par {
+		t.Fatalf("critpath artifact differs between -parallel 1 and -parallel 4:\nseq:\n%s\npar:\n%s", seq, par)
+	}
+}
+
+// TestFigure10BlameColumns: the headline table carries the blame
+// columns, and FRED's advantage shows as no-worse comm blame than the
+// baseline on at least one workload.
+func TestFigure10BlameColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full Figure 10 sweep")
+	}
+	s := NewSession()
+	rows, tbl := s.Figure10(false)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []string{"comm-ser", "comm-cont"}
+	for _, w := range wantCols {
+		found := false
+		for _, h := range tbl.Header {
+			if h == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Figure 10 header lacks %q: %v", w, tbl.Header)
+		}
+	}
+	// Every row's report got a decomposition (recorder forced on).
+	commOf := func(r rowReport) float64 { return r.CommSerial + r.CommContention }
+	type cell struct{ base, fredD float64 }
+	perWorkload := map[string]*cell{}
+	for _, row := range rows {
+		if row.Report.CritPath == nil {
+			t.Fatalf("%s on %s: no CritPath in a blamed run", row.Workload, row.System)
+		}
+		c := perWorkload[row.Workload]
+		if c == nil {
+			c = &cell{}
+			perWorkload[row.Workload] = c
+		}
+		comm := commOf(rowReport{row.Report.CritPath.CommSerial, row.Report.CritPath.CommContention})
+		switch row.System {
+		case Baseline:
+			c.base = comm
+		case FredD:
+			c.fredD = comm
+		}
+	}
+	better := 0
+	for name, c := range perWorkload {
+		if c.fredD <= c.base+1e-12 {
+			better++
+		} else {
+			t.Logf("%s: Fred-D comm blame %g > baseline %g", name, c.fredD, c.base)
+		}
+	}
+	if better == 0 {
+		t.Fatal("Fred-D shows no comm-blame advantage on any workload")
+	}
+}
+
+type rowReport struct{ CommSerial, CommContention float64 }
+
+// TestFaultSweepBlameColumns: the degradation table carries blame
+// shares and the rows' decompositions sum to 100% of the elapsed time.
+func TestFaultSweepBlameColumns(t *testing.T) {
+	s := NewSession()
+	rows, tbl := s.FaultSweep()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, h := range tbl.Header {
+		if h == "fred ser/cont/fault" || h == "mesh ser/cont/fault" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("FaultSweep header lacks blame columns: %v", tbl.Header)
+	}
+	for _, row := range rows {
+		if row.FredBW > 0 && row.FredBlame.Total() <= 0 {
+			t.Fatalf("K=%d: completed FRED run has no blame", row.Failures)
+		}
+		if row.MeshBW > 0 && row.MeshBlame.Total() <= 0 {
+			t.Fatalf("K=%d: completed mesh run has no blame", row.Failures)
+		}
+		// The faults here land before traffic starts (degraded links, not
+		// in-flight teardowns), so the cost surfaces as serialized and
+		// contention time, never as a fault-recovery window.
+		if row.FredBlame.Fault != 0 {
+			t.Fatalf("K=%d: pre-traffic degradation charged to fault recovery: %+v", row.Failures, row.FredBlame)
+		}
+	}
+}
+
+// TestFormatBlame covers the share formatter.
+func TestFormatBlame(t *testing.T) {
+	if got := formatBlame(critpath.Blame{}); got != "-" {
+		t.Fatalf("zero blame = %q, want -", got)
+	}
+	if got := formatBlame(critpath.Blame{Serial: 1, Contention: 1, Fault: 2}); got != "25/25/50%" {
+		t.Fatalf("formatBlame = %q, want 25/25/50%%", got)
+	}
+}

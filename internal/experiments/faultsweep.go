@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/wafernet/fred/internal/collective"
+	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/faults"
 	"github.com/wafernet/fred/internal/netsim"
 	"github.com/wafernet/fred/internal/report"
@@ -20,6 +21,10 @@ type FaultSweepRow struct {
 	Failures int
 	FredBW   float64 // bytes/s; 0 means the collective could not complete
 	MeshBW   float64
+	// Blame decomposes the degraded all-reduce's elapsed time
+	// (serialized transfer / link contention / fault recovery).
+	FredBlame critpath.Blame
+	MeshBlame critpath.Blame
 }
 
 // fredMiddles is the paper's middle-stage redundancy m = 3: each FRED
@@ -51,35 +56,43 @@ func (s *Session) FaultSweep() ([]FaultSweepRow, *report.Table) {
 	const maxFailures = 4 // distinct L1 trunks on Fred-A (5 L1s)
 	rows := make([]FaultSweepRow, maxFailures+1)
 	s.forEach("FaultSweep", len(rows), func(k int, cs *Session) {
+		fredBW, fredBlame := cs.fredDegradedBW(k)
+		meshBW, meshBlame := cs.meshDegradedBW(k)
 		rows[k] = FaultSweepRow{
-			Failures: k,
-			FredBW:   cs.fredDegradedBW(k),
-			MeshBW:   cs.meshDegradedBW(k),
+			Failures:  k,
+			FredBW:    fredBW,
+			MeshBW:    meshBW,
+			FredBlame: fredBlame,
+			MeshBlame: meshBlame,
 		}
 	})
 
 	tbl := &report.Table{
 		Title:  "Graceful degradation: wafer-wide all-reduce effective BW vs injected faults (equal 3.75 TB/s bisection)",
-		Header: []string{"failures", "Fred-A (failed µswitches)", "mesh 5x4 (failed links)", "FRED/mesh"},
+		Header: []string{"failures", "Fred-A (failed µswitches)", "fred ser/cont/fault", "mesh 5x4 (failed links)", "mesh ser/cont/fault", "FRED/mesh"},
 	}
 	for _, row := range rows {
 		ratio := "∞"
 		if row.MeshBW > 0 {
 			ratio = fmt.Sprintf("%.2fx", row.FredBW/row.MeshBW)
 		}
-		tbl.AddRow(row.Failures, formatRate(row.FredBW), formatRate(row.MeshBW), ratio)
+		tbl.AddRow(row.Failures, formatRate(row.FredBW), formatBlame(row.FredBlame),
+			formatRate(row.MeshBW), formatBlame(row.MeshBlame), ratio)
 	}
 	tbl.AddNote("FRED's Clos spare paths turn a µswitch failure into a 1/m trunk degradation; the mesh loses links outright and detours stretch its rings")
+	tbl.AddNote("ser/cont/fault: critical-path blame shares of the degraded all-reduce's elapsed time")
 	return rows, tbl
 }
 
 // fredDegradedBW measures the all-reduce bandwidth of Fred-A after k
 // µswitch failures, each landing in a distinct L1↔L2 trunk's
-// interconnect (seeded choice of trunks).
-func (s *Session) fredDegradedBW(k int) float64 {
+// interconnect (seeded choice of trunks), plus the run's critical-path
+// blame decomposition.
+func (s *Session) fredDegradedBW(k int) (float64, critpath.Blame) {
 	net := netsim.New(sim.NewScheduler())
 	f := topology.NewFredVariant(net, topology.FredA)
 	s.observeNetwork(net, FredA)
+	ensureCritPath(net)
 
 	inj := faults.NewInjector(net).SetMetrics(net.Metrics())
 	inj.OnSwitchFail(func(l1 int) {
@@ -101,20 +114,22 @@ func (s *Session) fredDegradedBW(k int) float64 {
 	net.Scheduler().Run() // apply the plan before traffic starts
 
 	group := topology.AliveNPUs(f)
-	elapsed, err := collective.RunToCompletionErr(net, collective.NewComm(f).AllReduce(group, faultSweepBytes))
+	elapsed, blame, err := collective.RunToCompletionBlame(net, collective.NewComm(f).AllReduce(group, faultSweepBytes))
 	if err != nil || elapsed <= 0 {
-		return 0
+		return 0, blame
 	}
-	return faultSweepBytes / float64(elapsed)
+	return faultSweepBytes / float64(elapsed), blame
 }
 
 // meshDegradedBW measures the all-reduce bandwidth of the baseline
 // mesh after k seeded link failures (both directions of k distinct
-// physical mesh links).
-func (s *Session) meshDegradedBW(k int) float64 {
+// physical mesh links), plus the run's critical-path blame
+// decomposition.
+func (s *Session) meshDegradedBW(k int) (float64, critpath.Blame) {
 	net := netsim.New(sim.NewScheduler())
 	m := topology.NewMesh(net, topology.DefaultMeshConfig())
 	s.observeNetwork(net, Baseline)
+	ensureCritPath(net)
 
 	// Candidate physical links, in deterministic scan order.
 	type pair struct{ a, b int }
@@ -148,11 +163,11 @@ func (s *Session) meshDegradedBW(k int) float64 {
 	for i := range group {
 		group[i] = i
 	}
-	elapsed, err := collective.RunToCompletionErr(net, collective.NewComm(m).AllReduceDegraded(group, faultSweepBytes))
+	elapsed, blame, err := collective.RunToCompletionBlame(net, collective.NewComm(m).AllReduceDegraded(group, faultSweepBytes))
 	if err != nil || elapsed <= 0 {
-		return 0
+		return 0, blame
 	}
-	return faultSweepBytes / float64(elapsed)
+	return faultSweepBytes / float64(elapsed), blame
 }
 
 // formatRate renders a bandwidth in the fixed GB/s form used by the
@@ -162,6 +177,25 @@ func formatRate(bytesPerSec float64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.1f GB/s", bytesPerSec/1e9)
+}
+
+// formatBlame renders a blame decomposition as percentage shares of
+// its own total ("-" when nothing was attributed).
+func formatBlame(b critpath.Blame) string {
+	total := b.Total()
+	if total <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f/%.0f/%.0f%%", 100*b.Serial/total, 100*b.Contention/total, 100*b.Fault/total)
+}
+
+// ensureCritPath attaches a fresh critpath recorder to a network that
+// does not already carry one (blame-column studies need a
+// decomposition even on sessions with collection off).
+func ensureCritPath(net *netsim.Network) {
+	if net.CritPath() == nil {
+		net.SetCritPath(critpath.NewRecorder())
+	}
 }
 
 // FaultSweep runs the study on a fresh default session.

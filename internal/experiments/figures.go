@@ -174,13 +174,13 @@ func (s *Session) Figure10(includeAB bool) ([]Fig10Row, *report.Table) {
 		// Each cell constructs its own model so no state whatsoever is
 		// shared between concurrent simulations.
 		m := workload.Models()[i/len(systems)]
-		reports[i] = cs.mustRunTraining(systems[i%len(systems)], m, defaultStrategy(m), 16)
+		reports[i] = cs.mustRunTrainingBlamed(systems[i%len(systems)], m, defaultStrategy(m), 16)
 	})
 
 	var rows []Fig10Row
 	tbl := &report.Table{
 		Title:  "Figure 10: end-to-end training time per iteration (minibatch DP x 16)",
-		Header: []string{"workload", "system", "total", "compute", "load", "MP", "DP", "PP", "stream", "speedup"},
+		Header: []string{"workload", "system", "total", "compute", "load", "MP", "DP", "PP", "stream", "comm-ser", "comm-cont", "speedup"},
 	}
 	for mi, m := range models {
 		var base float64
@@ -192,11 +192,16 @@ func (s *Session) Figure10(includeAB bool) ([]Fig10Row, *report.Table) {
 			row := Fig10Row{Workload: m.Name, System: sys, Report: r, Speedup: base / r.Total}
 			rows = append(rows, row)
 			b := r.Breakdown
+			commSer, commCont := 0.0, 0.0
+			if r.CritPath != nil {
+				commSer, commCont = r.CritPath.CommSerial, r.CritPath.CommContention
+			}
 			tbl.AddRow(m.Name, string(sys), r.Total, b.Compute, b.InputLoad, b.MP, b.DP, b.PP, b.Stream,
-				report.FormatX(row.Speedup))
+				commSer, commCont, report.FormatX(row.Speedup))
 		}
 	}
 	tbl.AddNote("paper speedups (Fred-C, Fred-D): ResNet-152 1.41/1.76, T-17B 1.75/1.87, GPT-3 1.34/1.34, T-1T 1.4/1.4")
+	tbl.AddNote("comm-ser/comm-cont: critical-path blame — FRED's gain comes from shrinking both (higher-bandwidth trees serialize less; unified fabric contends less)")
 	return rows, tbl
 }
 

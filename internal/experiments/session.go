@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/metrics"
 	"github.com/wafernet/fred/internal/netsim"
 	"github.com/wafernet/fred/internal/parallelism"
@@ -33,6 +34,7 @@ type Session struct {
 	tracer         trace.Tracer
 	linkStats      bool
 	collectMetrics bool
+	collectCrit    bool
 	parallel       int
 
 	mu       sync.Mutex
@@ -41,6 +43,7 @@ type Session struct {
 
 	linkTables  *report.Collector
 	metricsColl *metrics.Collector
+	critColl    *critpath.Collector
 }
 
 // CellError reports a panic recovered from one experiment cell: the
@@ -85,7 +88,11 @@ func (s *Session) Err() error {
 // NewSession returns a session with observability off and the worker
 // pool sized to GOMAXPROCS.
 func NewSession() *Session {
-	return &Session{linkTables: report.NewCollector(), metricsColl: metrics.NewCollector()}
+	return &Session{
+		linkTables:  report.NewCollector(),
+		metricsColl: metrics.NewCollector(),
+		critColl:    critpath.NewCollector(),
+	}
 }
 
 // SetParallel sizes the worker pool used to fan independent cells out:
@@ -138,6 +145,23 @@ func (s *Session) CollectMetrics(on bool) {
 // worker-pool size.
 func (s *Session) Metrics() *metrics.Registry { return s.metricsColl.Merged() }
 
+// CollectCritPath toggles critical-path recording: every subsequently
+// built system gets a causal critpath recorder (netsim.SetCritPath),
+// and every RunTraining appends its analyzed per-iteration blame
+// decomposition, labeled with the cell's workload/strategy/system.
+// Enabling resets previously collected iterations.
+func (s *Session) CollectCritPath(on bool) {
+	s.collectCrit = on
+	s.critColl = critpath.NewCollector()
+}
+
+// CritPathCells returns the iterations collected since
+// CollectCritPath(true), in driver cell order regardless of which
+// worker ran each cell — the same deterministic slot scheme as the
+// hotspot tables, so the exported fred-critpath/v1 artifact is
+// byte-identical at every worker-pool size.
+func (s *Session) CritPathCells() []critpath.Iteration { return s.critColl.Cells() }
+
 // workers resolves the effective pool size.
 func (s *Session) workers() int {
 	if s.tracer != nil {
@@ -187,14 +211,17 @@ func (s *Session) forEach(study string, n int, fn func(cell int, cs *Session)) {
 	children := make([]*Session, n)
 	slots := make([]int, n)
 	mslots := make([]int, n)
+	cslots := make([]int, n)
 	for i := range children {
 		c := NewSession()
 		c.linkStats = s.linkStats
 		c.collectMetrics = s.collectMetrics
+		c.collectCrit = s.collectCrit
 		c.parallel = 1
 		children[i] = c
 		slots[i] = s.linkTables.Reserve()
 		mslots[i] = s.metricsColl.Reserve()
+		cslots[i] = s.critColl.Reserve()
 	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, w)
@@ -211,6 +238,7 @@ func (s *Session) forEach(study string, n int, fn func(cell int, cs *Session)) {
 	for i, c := range children {
 		s.linkTables.Fill(slots[i], c.LinkStatsTables()...)
 		s.metricsColl.Fill(mslots[i], c.metricsColl.Registries()...)
+		s.critColl.Fill(cslots[i], c.critColl.Cells()...)
 		// Nested fan-outs record on the child; surface those too.
 		s.mu.Lock()
 		s.errs = append(s.errs, c.errs...)
@@ -241,6 +269,9 @@ func (s *Session) observeNetwork(net *netsim.Network, system System) {
 		net.SetMetrics(reg)
 		s.metricsColl.Append(reg)
 	}
+	if s.collectCrit {
+		net.SetCritPath(critpath.NewRecorder())
+	}
 }
 
 // RunTraining simulates one iteration of the model under the strategy
@@ -250,7 +281,19 @@ func (s *Session) observeNetwork(net *netsim.Network, system System) {
 // known-good may panic on it themselves, which forEach records as a
 // CellError without killing the run.
 func (s *Session) RunTraining(sys System, m *workload.Model, strat parallelism.Strategy, perReplica int) (*training.Report, error) {
+	return s.runTraining(sys, m, strat, perReplica, false)
+}
+
+// runTraining is RunTraining with an extra knob: blamed forces a
+// critpath recorder onto the freshly built wafer even when the session
+// is not collecting critpath artifacts, so blame-column studies
+// (Figure 10) always have a decomposition to print.
+func (s *Session) runTraining(sys System, m *workload.Model, strat parallelism.Strategy, perReplica int, blamed bool) (*training.Report, error) {
 	w := s.Build(sys)
+	net := w.Network()
+	if blamed {
+		ensureCritPath(net)
+	}
 	r, err := training.Simulate(training.Config{
 		Wafer:               w,
 		Model:               m,
@@ -262,13 +305,17 @@ func (s *Session) RunTraining(sys System, m *workload.Model, strat parallelism.S
 		return nil, err
 	}
 	if s.collectMetrics {
-		net := w.Network()
 		net.FlushMetrics()
 		r.RecordMetrics(net.Metrics())
 	}
+	if s.collectCrit && r.CritPath != nil {
+		it := *r.CritPath
+		it.Label = fmt.Sprintf("%s %v on %s", m.Name, strat, sys)
+		s.critColl.Append(it)
+	}
 	if s.linkStats {
 		title := fmt.Sprintf("Link hotspots: %s, %v on %s", m.Name, strat, sys)
-		s.linkTables.Append(w.Network().HotspotTable(title, 10))
+		s.linkTables.Append(net.HotspotTable(title, 10))
 	}
 	return r, nil
 }
@@ -278,6 +325,16 @@ func (s *Session) RunTraining(sys System, m *workload.Model, strat parallelism.S
 // recovered by forEach and surfaced via Err.
 func (s *Session) mustRunTraining(sys System, m *workload.Model, strat parallelism.Strategy, perReplica int) *training.Report {
 	r, err := s.RunTraining(sys, m, strat, perReplica)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// mustRunTrainingBlamed is mustRunTraining with critpath recording
+// forced on, for cells whose table prints blame columns.
+func (s *Session) mustRunTrainingBlamed(sys System, m *workload.Model, strat parallelism.Strategy, perReplica int) *training.Report {
+	r, err := s.runTraining(sys, m, strat, perReplica, true)
 	if err != nil {
 		panic(err)
 	}

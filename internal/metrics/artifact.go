@@ -3,7 +3,9 @@ package metrics
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -36,8 +38,64 @@ type Manifest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// EngineVersion is the simulator revision (metrics.EngineVersion).
 	EngineVersion string `json:"engine_version,omitempty"`
+	// ConfigHash is the FNV-1a hash of CanonicalKey — a stable identity
+	// for "the same simulated configuration", the cache key groundwork
+	// for fredd result reuse. Export stamps it when empty.
+	ConfigHash string `json:"config_hash,omitempty"`
 	// Notes carries free-form context (environment, methodology).
 	Notes []string `json:"notes,omitempty"`
+}
+
+// CanonicalKey renders the manifest's identity fields — everything
+// that determines the simulation's outcome, and nothing that doesn't
+// (no output paths, no notes, no pool sizes) — as a stable ordered
+// string. Two runs with equal keys simulate the same configuration on
+// the same engine revision.
+func (m Manifest) CanonicalKey() string {
+	engine := m.EngineVersion
+	if engine == "" {
+		engine = EngineVersion
+	}
+	var b strings.Builder
+	for _, kv := range [][2]string{
+		{"tool", m.Tool},
+		{"command", m.Command},
+		{"workload", m.Workload},
+		{"system", m.System},
+		{"strategy", m.Strategy},
+		{"batch", strconv.Itoa(m.BatchPerReplica)},
+		{"schedule", m.Schedule},
+		{"seed", strconv.FormatInt(m.Seed, 10)},
+		{"engine", engine},
+	} {
+		if b.Len() > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(kv[0])
+		b.WriteByte('=')
+		b.WriteString(kv[1])
+	}
+	return b.String()
+}
+
+// Hash returns the 64-bit FNV-1a hash of CanonicalKey, hex-encoded.
+func (m Manifest) Hash() string {
+	h := fnv.New64a()
+	h.Write([]byte(m.CanonicalKey()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Stamp fills the derived manifest fields when empty — the engine
+// version and the canonical config hash — and returns the stamped
+// copy. Exporters call it so every artifact is self-describing.
+func (m Manifest) Stamp() Manifest {
+	if m.EngineVersion == "" {
+		m.EngineVersion = EngineVersion
+	}
+	if m.ConfigHash == "" {
+		m.ConfigHash = m.Hash()
+	}
+	return m
 }
 
 // Bucket is one non-empty histogram bucket in an artifact: the weight
@@ -81,10 +139,7 @@ type Artifact struct {
 // series in registration order, histograms as sparse non-empty buckets
 // in bound order.
 func (r *Registry) Export(m Manifest) *Artifact {
-	if m.EngineVersion == "" {
-		m.EngineVersion = EngineVersion
-	}
-	a := &Artifact{Schema: Schema, Manifest: m}
+	a := &Artifact{Schema: Schema, Manifest: m.Stamp()}
 	for _, s := range r.series {
 		d := SeriesData{
 			Name:      s.name,

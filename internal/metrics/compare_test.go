@@ -89,6 +89,87 @@ func TestCompareZeroBaseline(t *testing.T) {
 	}
 }
 
+// A change landing exactly at the tolerance is not a regression: the
+// gate fails only strictly beyond it (bad > tol), so a candidate that
+// sits right on the boundary passes in both directions.
+func TestCompareExactlyAtTolerancePasses(t *testing.T) {
+	ref := artifactOf(func(r *Registry) {
+		r.Gauge("lat", "s").SetBetter("lower").Set(100)
+		r.Gauge("tput", "").SetBetter("higher").Set(100)
+	})
+	cand := artifactOf(func(r *Registry) {
+		r.Gauge("lat", "s").Set(110) // +10% at a 10% tolerance
+		r.Gauge("tput", "").Set(90)  // −10% at a 10% tolerance
+	})
+	for _, d := range Compare(ref, cand, 0.10) {
+		if d.Verdict != VerdictOK {
+			t.Errorf("%s at exactly the tolerance = %s, want ok", d.Name, d.Verdict)
+		}
+	}
+	// The boundary also holds for a per-series tolerance and in absolute
+	// mode (zero reference).
+	refAbs := artifactOf(func(r *Registry) {
+		r.Gauge("allocs", "").SetBetter("lower").SetTolerance(2).Set(0)
+	})
+	edge := artifactOf(func(r *Registry) { r.Gauge("allocs", "").Set(2) })
+	if d := Compare(refAbs, edge, 0.10)[0]; d.Verdict != VerdictOK || !d.AbsBase {
+		t.Fatalf("0→2 at absolute tolerance 2 = %+v, want ok/absolute", d)
+	}
+	over := artifactOf(func(r *Registry) { r.Gauge("allocs", "").Set(2.5) })
+	if d := Compare(refAbs, over, 0.10)[0]; d.Verdict != VerdictRegression {
+		t.Fatalf("0→2.5 beyond absolute tolerance = %s, want regression", d.Verdict)
+	}
+}
+
+// A drop below a zero reference counts as an absolute improvement for
+// better:lower series — the sign convention survives the AbsBase
+// switch.
+func TestCompareZeroBaselineImproves(t *testing.T) {
+	ref := artifactOf(func(r *Registry) {
+		r.Gauge("drift", "s").SetBetter("lower").Set(0)
+	})
+	cand := artifactOf(func(r *Registry) { r.Gauge("drift", "s").Set(-3) })
+	d := Compare(ref, cand, 0.10)[0]
+	if !d.AbsBase || d.Rel != -3 {
+		t.Fatalf("0→−3 delta = %+v, want absolute Rel −3", d)
+	}
+	if d.Verdict != VerdictImproved {
+		t.Fatalf("0→−3 verdict = %s, want improved", d.Verdict)
+	}
+}
+
+// Missing and New rows are schema-drift notes, never gate failures:
+// they carry the one-sided presence flags, keep the side they do have,
+// and don't count toward Regressions.
+func TestCompareMissingVersusNew(t *testing.T) {
+	ref := artifactOf(func(r *Registry) {
+		r.Gauge("gone", "s").SetBetter("lower").Set(7)
+	})
+	cand := artifactOf(func(r *Registry) {
+		r.Gauge("fresh", "B").SetBetter("lower").Set(9)
+	})
+	deltas := Compare(ref, cand, 0.10)
+	if len(deltas) != 2 {
+		t.Fatalf("%d delta rows, want 2", len(deltas))
+	}
+	gone, fresh := deltas[0], deltas[1]
+	if gone.Verdict != VerdictMissing || !gone.HasOld || gone.HasNew {
+		t.Fatalf("missing row = %+v, want HasOld only", gone)
+	}
+	if gone.Old != 7 || gone.Unit != "s" {
+		t.Fatalf("missing row lost its reference side: %+v", gone)
+	}
+	if fresh.Verdict != VerdictNew || fresh.HasOld || !fresh.HasNew {
+		t.Fatalf("new row = %+v, want HasNew only", fresh)
+	}
+	if fresh.New != 9 || fresh.Unit != "B" {
+		t.Fatalf("new row lost its candidate side: %+v", fresh)
+	}
+	if got := Regressions(deltas); got != 0 {
+		t.Fatalf("missing/new counted as regressions: %d", got)
+	}
+}
+
 // Histogram series compare on their scalar (weighted mean).
 func TestCompareHistograms(t *testing.T) {
 	ref := artifactOf(func(r *Registry) {

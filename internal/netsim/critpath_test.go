@@ -1,0 +1,186 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/wafernet/fred/internal/critpath"
+	"github.com/wafernet/fred/internal/sim"
+)
+
+// TestCritPathSoloFlowAllSerial: a flow alone on its route runs at its
+// solo rate the whole time, so its blame is pure serialized time.
+func TestCritPathSoloFlowAllSerial(t *testing.T) {
+	s := sim.NewScheduler()
+	net, links := line(s, 2, 100)
+	rec := critpath.NewRecorder()
+	net.SetCritPath(rec)
+	if !s.CausalTracking() {
+		t.Fatal("SetCritPath did not enable causal tracking")
+	}
+	net.StartFlow(FlowSpec{Links: links, Bytes: 200, Latency: -1, Label: "solo"})
+	s.Run()
+	if rec.NodeCount() != 1 {
+		t.Fatalf("nodes = %d, want 1", rec.NodeCount())
+	}
+	n := rec.Node(1)
+	if n.Kind != critpath.KindFlow || n.Label != "solo" || n.Failed {
+		t.Fatalf("flow node wrong: %+v", n)
+	}
+	if !approx(n.Duration(), 2) {
+		t.Fatalf("duration = %g, want 2", n.Duration())
+	}
+	if !approx(n.Blame.Serial, 2) || n.Blame.Contention != 0 || n.Blame.Fault != 0 {
+		t.Fatalf("solo blame = %+v, want all serial", n.Blame)
+	}
+}
+
+// TestCritPathSharedLinkStallExact: two equal flows sharing one link
+// each run at half their solo rate for their whole lifetime, so each
+// accrues exactly half its elapsed time as contention.
+func TestCritPathSharedLinkStallExact(t *testing.T) {
+	s := sim.NewScheduler()
+	net, links := line(s, 2, 100)
+	rec := critpath.NewRecorder()
+	net.SetCritPath(rec)
+	fa := net.StartFlow(FlowSpec{Links: links, Bytes: 100, Latency: -1, Label: "a"})
+	fb := net.StartFlow(FlowSpec{Links: links, Bytes: 100, Latency: -1, Label: "b"})
+	s.Run()
+	// Both at rate 50 on a 100 B/s link: finish at t=2, stall = ∫(1 −
+	// 50/100)dt over [0,2] = 1 exactly.
+	for _, f := range []*Flow{fa, fb} {
+		if !approx(f.Finished(), 2) {
+			t.Fatalf("%s finished at %g, want 2", f.Label(), f.Finished())
+		}
+		if got := f.ContentionStall(); math.Abs(got-1) > 1e-12 {
+			t.Fatalf("%s stall = %g, want exactly 1", f.Label(), got)
+		}
+	}
+	if rec.NodeCount() != 2 {
+		t.Fatalf("nodes = %d, want 2", rec.NodeCount())
+	}
+	n := rec.Node(1)
+	if !approx(n.Blame.Contention, 1) || !approx(n.Blame.Serial, 1) {
+		t.Fatalf("shared blame = %+v, want 1s/1s", n.Blame)
+	}
+	// The shared saturated link is the binding constraint.
+	if n.BindLink != "l" {
+		t.Fatalf("bind link = %q, want \"l\"", n.BindLink)
+	}
+	// Blame sums to the node's duration exactly.
+	if got := n.Blame.Total(); math.Abs(got-n.Duration()) > 1e-12 {
+		t.Fatalf("blame total %g != duration %g", got, n.Duration())
+	}
+}
+
+// TestCritPathFaultWindow: a rerouted flow's teardown-to-readmission
+// gap (backoff; zero route latency here) is charged to fault recovery.
+func TestCritPathFaultWindow(t *testing.T) {
+	s, net, l1, l2 := twoPath(100, 50)
+	rec := critpath.NewRecorder()
+	net.SetCritPath(rec)
+	f := net.StartFlow(FlowSpec{
+		Links: []LinkID{l1}, Bytes: 100, Latency: 0,
+		Reroute: func(int) ([]LinkID, bool) { return []LinkID{l2}, true },
+		Label:   "survivor",
+	})
+	s.At(0.5, func() { net.Link(l1).Fail() })
+	s.RunUntil(10)
+	if f.State() != FlowDone {
+		t.Fatalf("state = %v, want done", f.State())
+	}
+	backoff := net.RetryPolicy().Backoff
+	if got := f.FaultTime(); math.Abs(got-backoff) > 1e-12 {
+		t.Fatalf("fault time = %g, want backoff %g", got, backoff)
+	}
+	n := rec.Node(1)
+	if n.Kind != critpath.KindFlow || n.Failed {
+		t.Fatalf("rerouted flow node wrong: %+v", n)
+	}
+	if math.Abs(n.Blame.Fault-backoff) > 1e-12 {
+		t.Fatalf("fault blame = %g, want %g", n.Blame.Fault, backoff)
+	}
+	if got := n.Blame.Total(); math.Abs(got-n.Duration()) > 1e-9 {
+		t.Fatalf("blame total %g != duration %g", got, n.Duration())
+	}
+}
+
+// TestCritPathAbortedFlowFailedNode: a flow whose reroute declines
+// after the backoff is recorded as a Failed node whose fault window
+// covers the backoff it waited before giving up.
+func TestCritPathAbortedFlowFailedNode(t *testing.T) {
+	s, net, l1, _ := twoPath(100, 100)
+	rec := critpath.NewRecorder()
+	net.SetCritPath(rec)
+	net.StartFlow(FlowSpec{
+		Links: []LinkID{l1}, Bytes: 100, Latency: 0,
+		Reroute: func(int) ([]LinkID, bool) { return nil, false },
+		Label:   "victim",
+	})
+	s.At(0.5, func() { net.Link(l1).Fail() })
+	s.RunUntil(10)
+	if rec.NodeCount() != 1 {
+		t.Fatalf("nodes = %d, want 1", rec.NodeCount())
+	}
+	n := rec.Node(1)
+	if !n.Failed {
+		t.Fatalf("aborted flow not marked Failed: %+v", n)
+	}
+	backoff := net.RetryPolicy().Backoff
+	if math.Abs(n.Blame.Fault-backoff) > 1e-12 {
+		t.Fatalf("fault blame = %g, want backoff %g", n.Blame.Fault, backoff)
+	}
+	if got := n.Blame.Total(); math.Abs(got-n.Duration()) > 1e-9 {
+		t.Fatalf("blame total %g != duration %g", got, n.Duration())
+	}
+}
+
+// TestCritPathParentEdge: a flow started with a CritParent gets an
+// expand edge from the parent node.
+func TestCritPathParentEdge(t *testing.T) {
+	s := sim.NewScheduler()
+	net, links := line(s, 2, 100)
+	rec := critpath.NewRecorder()
+	net.SetCritPath(rec)
+	parent := rec.Open(critpath.Node{Kind: critpath.KindOp, Label: "op"})
+	net.StartFlow(FlowSpec{Links: links, Bytes: 100, Latency: -1, Label: "child", CritParent: parent})
+	s.Run()
+	var found bool
+	for _, e := range rec.Edges() {
+		if e.Kind == critpath.EdgeExpand && e.From == parent {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no expand edge from parent: %+v", rec.Edges())
+	}
+}
+
+// TestCritPathObserverEffectFree: attaching a recorder must not change
+// any simulated outcome — same completion times, same bytes carried.
+func TestCritPathObserverEffectFree(t *testing.T) {
+	run := func(attach bool) []float64 {
+		s := sim.NewScheduler()
+		net, links := line(s, 4, 100)
+		if attach {
+			net.SetCritPath(critpath.NewRecorder())
+		}
+		var finished []float64
+		for i := 0; i < 3; i++ {
+			bytes := float64(100 * (i + 1))
+			net.StartFlow(FlowSpec{Links: links[i%len(links):], Bytes: bytes, Latency: -1,
+				Done: func(f *Flow) { finished = append(finished, f.Finished()) }})
+		}
+		s.Run()
+		return finished
+	}
+	plain, observed := run(false), run(true)
+	if len(plain) != len(observed) {
+		t.Fatalf("completion count changed: %d vs %d", len(plain), len(observed))
+	}
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Fatalf("completion %d changed: %g vs %g", i, plain[i], observed[i])
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/sim"
 	"github.com/wafernet/fred/internal/trace"
 )
@@ -197,6 +198,12 @@ func (n *Network) flowRouteFailed(f *Flow) {
 	}
 	f.rate = 0
 	f.retries++
+	if n.crit != nil && !f.inFault {
+		// Open the fault-recovery window; re-admission (activate) or
+		// abort closes it.
+		f.inFault = true
+		f.faultFrom = n.sched.Now()
+	}
 	if f.reroute == nil || f.retries > n.retry.MaxRetries {
 		n.abortFlow(f)
 		return
@@ -246,6 +253,22 @@ func (n *Network) abortFlow(f *Flow) {
 	if n.tracer != nil {
 		n.tracer.AsyncInstant(n.catFlow, "failed", f.id, f.finished,
 			trace.String("label", f.label), trace.Float("remaining", f.remaining))
+	}
+	if n.crit != nil {
+		if f.inFault {
+			f.faultTime += f.finished - f.faultFrom
+			f.inFault = false
+		}
+		id := n.crit.Add(critpath.Node{
+			Kind:     critpath.KindFlow,
+			Label:    f.label,
+			Start:    f.started,
+			End:      f.finished,
+			Blame:    critpath.ClampBlame(f.finished-f.started, f.stall, f.faultTime),
+			BindLink: f.BindLinkName(),
+			Failed:   true,
+		})
+		n.crit.Edge(critpath.EdgeExpand, f.critParent, id)
 	}
 	if f.onFail != nil {
 		f.onFail(f)

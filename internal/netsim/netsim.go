@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/metrics"
 	"github.com/wafernet/fred/internal/sim"
 	"github.com/wafernet/fred/internal/trace"
@@ -151,6 +152,10 @@ type FlowSpec struct {
 	OnFail func(*Flow)
 	// Label tags the flow for debugging and accounting.
 	Label string
+	// CritParent, when non-zero and critpath recording is enabled
+	// (SetCritPath), links the flow's DAG node to the collective-op node
+	// that spawned it (an expand edge).
+	CritParent critpath.NodeID
 }
 
 // Flow is an in-flight transfer.
@@ -184,6 +189,18 @@ type Flow struct {
 	reroute    func(attempt int) ([]LinkID, bool)
 	onFail     func(*Flow)
 	retries    int // link-failure teardowns suffered so far
+
+	// Critpath bookkeeping, only touched while the network has a
+	// recorder (SetCritPath): stall is the exact contention integral
+	// ∫(1 − rate/solo)dt over the flow's active life, faultTime the
+	// summed teardown-to-readmission windows, bindLink the last link
+	// that froze the flow in the waterfiller's bottleneck ordering.
+	stall      float64
+	faultTime  float64
+	inFault    bool
+	faultFrom  sim.Time
+	bindLink   *Link
+	critParent critpath.NodeID
 }
 
 // ID returns the flow's network-unique sequence number (assigned in
@@ -219,6 +236,34 @@ func (f *Flow) Started() sim.Time { return f.started }
 // Finished returns the completion time; meaningful once State is
 // FlowDone.
 func (f *Flow) Finished() sim.Time { return f.finished }
+
+// ContentionStall returns the flow's exact contention integral
+// ∫(1 − rate/solo)dt over its active life so far, where solo is the
+// bandwidth of its narrowest link — the time the flow lost to max-min
+// fair sharing. Only accumulated while critpath recording is enabled
+// (SetCritPath); zero otherwise.
+func (f *Flow) ContentionStall() float64 { return f.stall }
+
+// FaultTime returns the summed fault-recovery windows (teardown to
+// re-admission: backoff plus the re-paid route latency) the flow has
+// suffered. Only accumulated while critpath recording is enabled.
+func (f *Flow) FaultTime() float64 {
+	if f.inFault {
+		return f.faultTime + (f.net.sched.Now() - f.faultFrom)
+	}
+	return f.faultTime
+}
+
+// BindLinkName names the saturated link that last froze this flow in
+// the progressive-filling bottleneck ordering — its binding
+// constraint. Empty when the flow was never frozen by a saturated link
+// (contention-free) or critpath recording is disabled.
+func (f *Flow) BindLinkName() string {
+	if f.bindLink == nil {
+		return ""
+	}
+	return f.bindLink.Name
+}
 
 // Network is a collection of nodes and links carrying flows.
 type Network struct {
@@ -280,6 +325,10 @@ type Network struct {
 	// collecting the flows crossing a failing link.
 	retry       RetryPolicy
 	failScratch []*Flow
+
+	// crit, when non-nil (SetCritPath), records every flow's causal
+	// node, contention stall and binding link into the critpath DAG.
+	crit *critpath.Recorder
 
 	name       string // trace namespace (SetName)
 	catFlow    string
@@ -356,6 +405,23 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 
 // Metrics returns the attached metrics registry, or nil.
 func (n *Network) Metrics() *metrics.Registry { return n.metrics }
+
+// SetCritPath attaches a causal critical-path recorder: every finished
+// flow records a DAG node carrying its exact blame decomposition
+// (serialized / contention / fault-recovery), the waterfiller notes
+// each flow's binding link, and the scheduler tracks event causality
+// depth. A nil recorder (the default) disables all of it; the hot
+// paths then pay only nil checks — the zero-cost discipline of
+// trace.Tracer, guarded by the allocation gates.
+func (n *Network) SetCritPath(rec *critpath.Recorder) {
+	n.crit = rec
+	if rec != nil {
+		n.sched.EnableCausalTracking()
+	}
+}
+
+// CritPath returns the attached critpath recorder, or nil.
+func (n *Network) CritPath() *critpath.Recorder { return n.crit }
 
 // FlushMetrics settles byte counters and accumulates the utilization
 // interval since the last rate recomputation into the per-link
@@ -457,6 +523,7 @@ func (n *Network) StartFlow(spec FlowSpec) *Flow {
 		stageStart: n.sched.Now(),
 		state:      FlowLatency,
 		activeIdx:  -1,
+		critParent: spec.CritParent,
 	}
 	n.flowSeq++
 	if n.mFlowsStarted != nil {
@@ -563,6 +630,12 @@ func (n *Network) activate(f *Flow) {
 			n.flowRouteFailed(f)
 			return
 		}
+	}
+	if n.crit != nil && f.inFault {
+		// Re-admission closes the fault-recovery window opened at
+		// teardown: backoff plus the re-paid route latency.
+		f.faultTime += n.sched.Now() - f.faultFrom
+		f.inFault = false
 	}
 	if f.remaining <= 0 {
 		f.state = FlowActive // momentarily, for finish bookkeeping
@@ -691,6 +764,17 @@ func (n *Network) finish(f *Flow) {
 		n.tracer.AsyncInstant(n.catFlow, "done", f.id, f.finished,
 			trace.String("label", f.label), trace.Float("bytes", f.total))
 	}
+	if n.crit != nil {
+		id := n.crit.Add(critpath.Node{
+			Kind:     critpath.KindFlow,
+			Label:    f.label,
+			Start:    f.started,
+			End:      f.finished,
+			Blame:    critpath.ClampBlame(f.finished-f.started, f.stall, f.faultTime),
+			BindLink: f.BindLinkName(),
+		})
+		n.crit.Edge(critpath.EdgeExpand, f.critParent, id)
+	}
 	if f.done != nil {
 		f.done(f)
 	}
@@ -715,6 +799,25 @@ func (n *Network) settle() {
 		f.remaining -= moved
 		for _, l := range f.links {
 			l.bytesDone += moved
+		}
+		if n.crit != nil {
+			// Exact contention integral: rates are piecewise-constant
+			// between settlements, and Degrade/Fail settle before mutating
+			// bandwidth, so the solo rate (narrowest-link bandwidth) read
+			// here is the one that held over the whole interval.
+			solo := math.Inf(1)
+			for _, l := range f.finiteLinks {
+				if l.Bandwidth < solo {
+					solo = l.Bandwidth
+				}
+			}
+			if f.rate < solo {
+				frac := 1.0
+				if f.rate > 0 && !math.IsInf(solo, 1) {
+					frac = 1 - f.rate/solo
+				}
+				f.stall += dt * frac
+			}
 		}
 	}
 	n.lastSettle = now
@@ -890,6 +993,11 @@ func (n *Network) runFill() {
 				if l.residual <= rateEpsilon*l.Bandwidth {
 					f.fillFrozen = true
 					unfrozenCount--
+					if n.crit != nil {
+						// The saturated link that freezes the flow is its
+						// binding constraint in the bottleneck ordering.
+						f.bindLink = l
+					}
 					break
 				}
 			}

@@ -31,6 +31,10 @@ type Event struct {
 	fn     func()
 	index  int // heap index; -1 once removed
 	cancel bool
+	// depth is the event's causal depth when causal tracking is on: one
+	// more than the depth of the event whose callback scheduled it, 0
+	// for externally scheduled roots.
+	depth uint32
 }
 
 // When reports the time the event is scheduled to fire.
@@ -86,6 +90,40 @@ type Scheduler struct {
 	fired  uint64
 	halted bool
 	hook   func(now Time, fired uint64)
+
+	// Causal tracking (EnableCausalTracking): which event scheduled
+	// which, as a per-event depth. Off by default — the hot paths pay
+	// one predictable branch and nothing else.
+	causal   bool
+	current  *Event // event whose callback is executing
+	maxDepth uint32
+}
+
+// EnableCausalTracking turns on event-causality depth tracking: every
+// event scheduled from inside another event's callback records a depth
+// one greater than its scheduler's, and the scheduler tracks the
+// maximum — the length of the deepest cause-effect chain in the run.
+// Tracking cannot be disabled once enabled (depths already assigned
+// would be inconsistent); it is per-Scheduler and off by default.
+func (s *Scheduler) EnableCausalTracking() { s.causal = true }
+
+// CausalTracking reports whether causal tracking is enabled.
+func (s *Scheduler) CausalTracking() bool { return s.causal }
+
+// MaxCausalDepth returns the deepest causal chain observed so far
+// (0 when tracking is off or no chained event has been scheduled).
+func (s *Scheduler) MaxCausalDepth() uint64 { return uint64(s.maxDepth) }
+
+// stampDepth assigns a newly armed event's causal depth from the
+// currently executing event.
+func (s *Scheduler) stampDepth(e *Event) {
+	e.depth = 0
+	if s.current != nil {
+		e.depth = s.current.depth + 1
+		if e.depth > s.maxDepth {
+			s.maxDepth = e.depth
+		}
+	}
 }
 
 // SetEventHook installs an optional observer invoked after each event
@@ -118,6 +156,9 @@ func (s *Scheduler) At(t Time, fn func()) *Event {
 	}
 	e := &Event{when: t, seq: s.seq, fn: fn}
 	s.seq++
+	if s.causal {
+		s.stampDepth(e)
+	}
 	heap.Push(&s.queue, e)
 	return e
 }
@@ -150,6 +191,9 @@ func (s *Scheduler) Reschedule(e *Event, t Time) {
 	e.seq = s.seq
 	s.seq++
 	e.cancel = false
+	if s.causal {
+		s.stampDepth(e)
+	}
 	if e.index >= 0 {
 		heap.Fix(&s.queue, e.index)
 	} else {
@@ -179,7 +223,13 @@ func (s *Scheduler) Step() bool {
 	e := heap.Pop(&s.queue).(*Event)
 	s.now = e.when
 	s.fired++
-	e.fn()
+	if s.causal {
+		s.current = e
+		e.fn()
+		s.current = nil
+	} else {
+		e.fn()
+	}
 	if s.hook != nil {
 		s.hook(s.now, s.fired)
 	}

@@ -10,9 +10,11 @@ import (
 // topology's concurrency discipline.
 type arbiter interface {
 	// submit queues a schedule under a communication class; done fires
-	// when it completes. Empty schedules complete via a zero-delay
-	// event so callers may rely on asynchronous completion.
-	submit(class Class, s collective.Schedule, done func())
+	// when it completes, with the finished op (nil for empty schedules,
+	// which complete via a zero-delay event so callers may rely on
+	// asynchronous completion). The op carries the blame decomposition
+	// when critpath recording is enabled.
+	submit(class Class, s collective.Schedule, done func(*collective.Op))
 }
 
 // meshArbiter models a packet-switched mesh: every operation starts
@@ -22,12 +24,12 @@ type meshArbiter struct {
 	net *netsim.Network
 }
 
-func (a meshArbiter) submit(_ Class, s collective.Schedule, done func()) {
+func (a meshArbiter) submit(_ Class, s collective.Schedule, done func(*collective.Op)) {
 	if s.Empty() {
-		a.net.Scheduler().After(0, done)
+		a.net.Scheduler().After(0, func() { done(nil) })
 		return
 	}
-	collective.Start(a.net, s, func(*collective.Op) { done() })
+	collective.Start(a.net, s, done)
 }
 
 // fredArbiter models FRED's circuit discipline (Section 5.4): the
@@ -48,7 +50,7 @@ type fredArbiter struct {
 
 type pendingOp struct {
 	s    collective.Schedule
-	done func()
+	done func(*collective.Op)
 }
 
 func newFredArbiter(net *netsim.Network, f *topology.FredFabric) *fredArbiter {
@@ -65,13 +67,13 @@ func newFredArbiter(net *netsim.Network, f *topology.FredFabric) *fredArbiter {
 // circuits; bulk streaming classes ride separate VCs.
 func arbitrated(c Class) bool { return c == ClassMP || c == ClassPP || c == ClassDP }
 
-func (a *fredArbiter) submit(class Class, s collective.Schedule, done func()) {
+func (a *fredArbiter) submit(class Class, s collective.Schedule, done func(*collective.Op)) {
 	if s.Empty() {
-		a.net.Scheduler().After(0, done)
+		a.net.Scheduler().After(0, func() { done(nil) })
 		return
 	}
 	if !arbitrated(class) {
-		collective.Start(a.net, s, func(*collective.Op) { done() })
+		collective.Start(a.net, s, done)
 		return
 	}
 	a.pending[class] = append(a.pending[class], pendingOp{s, done})
@@ -123,7 +125,7 @@ func (a *fredArbiter) reevaluate() {
 	a.pending[top] = nil
 }
 
-func (a *fredArbiter) finish(class Class, op *collective.Op, done func()) {
+func (a *fredArbiter) finish(class Class, op *collective.Op, done func(*collective.Op)) {
 	ops := a.running[class]
 	for i, o := range ops {
 		if o == op {
@@ -131,6 +133,6 @@ func (a *fredArbiter) finish(class Class, op *collective.Op, done func()) {
 			break
 		}
 	}
-	done()
+	done(op)
 	a.reevaluate()
 }

@@ -22,7 +22,7 @@ func TestArbiterRunsSingleOp(t *testing.T) {
 	sched, comm, arb := newArbiterRig()
 	var done sim.Time = -1
 	// 3 TB across a leaf at 3 TB/s ≈ 1 s.
-	arb.submit(ClassMP, comm.AllReduce([]int{0, 1, 2, 3}, 3e12), func() { done = sched.Now() })
+	arb.submit(ClassMP, comm.AllReduce([]int{0, 1, 2, 3}, 3e12), func(*collective.Op) { done = sched.Now() })
 	sched.Run()
 	if done < 0.99 || done > 1.01 {
 		t.Fatalf("MP op finished at %g, want ≈ 1", done)
@@ -35,9 +35,9 @@ func TestArbiterMPPreemptsDP(t *testing.T) {
 	// DP (in-network, 1.719 TB at 3 TB/s) needs ≈ 0.573 s alone. At
 	// t=0.25 an MP op needing ≈ 0.333 s arrives: it preempts; DP
 	// resumes after and finishes ≈ 0.573 + 0.333 ≈ 0.91 s.
-	arb.submit(ClassDP, comm.AllReduce([]int{0, 4, 8, 12, 16}, 1.719e12), func() { dpDone = sched.Now() })
+	arb.submit(ClassDP, comm.AllReduce([]int{0, 4, 8, 12, 16}, 1.719e12), func(*collective.Op) { dpDone = sched.Now() })
 	sched.At(0.25, func() {
-		arb.submit(ClassMP, comm.AllReduce([]int{1, 2, 3}, 1e12), func() { mpDone = sched.Now() })
+		arb.submit(ClassMP, comm.AllReduce([]int{1, 2, 3}, 1e12), func(*collective.Op) { mpDone = sched.Now() })
 	})
 	sched.Run()
 	if mpDone == 0 || dpDone == 0 {
@@ -56,8 +56,8 @@ func TestArbiterMPPreemptsDP(t *testing.T) {
 func TestArbiterDPWaitsForMP(t *testing.T) {
 	sched, comm, arb := newArbiterRig()
 	var order []string
-	arb.submit(ClassMP, comm.AllReduce([]int{0, 1, 2, 3}, 3e12), func() { order = append(order, "MP") })
-	arb.submit(ClassDP, comm.AllReduce([]int{4, 5, 6, 7}, 3e11), func() { order = append(order, "DP") })
+	arb.submit(ClassMP, comm.AllReduce([]int{0, 1, 2, 3}, 3e12), func(*collective.Op) { order = append(order, "MP") })
+	arb.submit(ClassDP, comm.AllReduce([]int{4, 5, 6, 7}, 3e11), func(*collective.Op) { order = append(order, "DP") })
 	sched.Run()
 	if len(order) != 2 || order[0] != "MP" || order[1] != "DP" {
 		t.Fatalf("completion order %v, want MP before DP", order)
@@ -69,8 +69,8 @@ func TestArbiterSameClassConcurrent(t *testing.T) {
 	sched, comm, arb := newArbiterRig()
 	var t1, t2 sim.Time
 	// Two MP ops on disjoint leaves run concurrently: both ≈ 1 s.
-	arb.submit(ClassMP, comm.AllReduce([]int{0, 1, 2, 3}, 3e12), func() { t1 = sched.Now() })
-	arb.submit(ClassMP, comm.AllReduce([]int{4, 5, 6, 7}, 3e12), func() { t2 = sched.Now() })
+	arb.submit(ClassMP, comm.AllReduce([]int{0, 1, 2, 3}, 3e12), func(*collective.Op) { t1 = sched.Now() })
+	arb.submit(ClassMP, comm.AllReduce([]int{4, 5, 6, 7}, 3e12), func(*collective.Op) { t2 = sched.Now() })
 	sched.Run()
 	if t1 > 1.01 || t2 > 1.01 {
 		t.Fatalf("same-class ops serialized: %g, %g", t1, t2)
@@ -80,7 +80,7 @@ func TestArbiterSameClassConcurrent(t *testing.T) {
 func TestArbiterPPBetweenMPAndDP(t *testing.T) {
 	sched, comm, arb := newArbiterRig()
 	var order []string
-	log := func(s string) func() { return func() { order = append(order, s) } }
+	log := func(s string) func(*collective.Op) { return func(*collective.Op) { order = append(order, s) } }
 	arb.submit(ClassDP, comm.AllReduce([]int{0, 4, 8, 12}, 1e12), log("DP"))
 	sched.At(0.01, func() {
 		arb.submit(ClassPP, comm.Multicast(1, []int{2, 3}, 1e12), log("PP"))
@@ -98,7 +98,7 @@ func TestArbiterPPBetweenMPAndDP(t *testing.T) {
 func TestArbiterEmptyScheduleCompletesAsync(t *testing.T) {
 	sched, comm, arb := newArbiterRig()
 	done := false
-	arb.submit(ClassMP, comm.AllReduce([]int{5}, 1e9), func() { done = true })
+	arb.submit(ClassMP, comm.AllReduce([]int{5}, 1e9), func(*collective.Op) { done = true })
 	if done {
 		t.Fatal("empty schedule completed synchronously")
 	}
@@ -113,8 +113,8 @@ func TestArbiterStreamBypasses(t *testing.T) {
 	// with MP work on its own virtual circuits.
 	sched, comm, arb := newArbiterRig()
 	var mpDone, streamDone sim.Time
-	arb.submit(ClassMP, comm.AllReduce([]int{0, 1, 2, 3}, 3e12), func() { mpDone = sched.Now() })
-	arb.submit(ClassStream, comm.P2P(16, 19, 3e12), func() { streamDone = sched.Now() })
+	arb.submit(ClassMP, comm.AllReduce([]int{0, 1, 2, 3}, 3e12), func(*collective.Op) { mpDone = sched.Now() })
+	arb.submit(ClassStream, comm.P2P(16, 19, 3e12), func(*collective.Op) { streamDone = sched.Now() })
 	sched.Run()
 	if streamDone > 1.01 {
 		t.Fatalf("stream transfer serialized behind MP: %g", streamDone)
@@ -133,8 +133,8 @@ func TestMeshArbiterSharesEverything(t *testing.T) {
 	var t1, t2 sim.Time
 	// Two ops on the same links share bandwidth (packet switching):
 	// both finish at ~2× their solo time.
-	arb.submit(ClassMP, comm.P2P(0, 1, 750e9), func() { t1 = sched.Now() })
-	arb.submit(ClassDP, comm.P2P(0, 1, 750e9), func() { t2 = sched.Now() })
+	arb.submit(ClassMP, comm.P2P(0, 1, 750e9), func(*collective.Op) { t1 = sched.Now() })
+	arb.submit(ClassDP, comm.P2P(0, 1, 750e9), func(*collective.Op) { t2 = sched.Now() })
 	sched.Run()
 	if t1 < 1.9 || t2 < 1.9 {
 		t.Fatalf("mesh ops did not share: %g, %g", t1, t2)
@@ -146,10 +146,10 @@ func TestArbiterPreemptionPreservesBytes(t *testing.T) {
 	// window), not restart from scratch.
 	sched, comm, arb := newArbiterRig()
 	var dpDone sim.Time
-	arb.submit(ClassDP, comm.AllReduce([]int{0, 4, 8, 12, 16}, 1.719e12), func() { dpDone = sched.Now() })
+	arb.submit(ClassDP, comm.AllReduce([]int{0, 4, 8, 12, 16}, 1.719e12), func(*collective.Op) { dpDone = sched.Now() })
 	// Inject an MP op at t=0.5 lasting ≈ 0.75 s.
 	sched.At(0.5, func() {
-		arb.submit(ClassMP, comm.AllReduce([]int{1, 2, 3}, 2.25e12), func() {})
+		arb.submit(ClassMP, comm.AllReduce([]int{1, 2, 3}, 2.25e12), func(*collective.Op) {})
 	})
 	sched.Run()
 	// DP solo ≈ 0.573 s; + 0.75 s preemption ≈ 1.32 s (±latency).

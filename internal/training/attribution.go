@@ -113,6 +113,9 @@ func (r *Report) RecordMetrics(reg *metrics.Registry) {
 		reg.Counter(prefix+"bytes", "B").Add(st.Bytes)
 		reg.Counter(prefix+"busy_s", "s").Add(st.BusyTime)
 	}
+	if r.CritPath != nil {
+		r.CritPath.RecordMetrics(reg)
+	}
 	for _, t := range r.NPUs {
 		prefix := fmt.Sprintf("npu/%03d/", t.NPU)
 		reg.Counter(prefix+"compute_s", "s").Add(t.Compute)

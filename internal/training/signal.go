@@ -1,10 +1,27 @@
 package training
 
+import (
+	"github.com/wafernet/fred/internal/collective"
+	"github.com/wafernet/fred/internal/critpath"
+	"github.com/wafernet/fred/internal/netsim"
+	"github.com/wafernet/fred/internal/sim"
+)
+
 // signal is a one-shot event: waiters registered before it fires run
-// when it fires; waiters registered after run immediately.
+// when it fires; waiters registered after run immediately. The firing
+// cause (a collective op, a flow) may be attached so waiters can blame
+// their wait on what released them.
 type signal struct {
 	fired   bool
 	waiters []func()
+
+	// Firing cause, for critpath blame: the collective op or flow whose
+	// completion fired the signal (both nil when the cause was pure
+	// compute or the recorder is off).
+	op      *collective.Op
+	stall   float64 // releasing flow's contention integral
+	fault   float64 // releasing flow's fault-recovery time
+	hasFlow bool
 }
 
 func (s *signal) fire() {
@@ -17,6 +34,44 @@ func (s *signal) fire() {
 	for _, w := range ws {
 		w()
 	}
+}
+
+// fireOp fires the signal, attaching the collective op that caused it.
+func (s *signal) fireOp(op *collective.Op) {
+	if !s.fired {
+		s.op = op
+	}
+	s.fire()
+}
+
+// fireFlow fires the signal, attaching the blame integrals of the flow
+// that caused it.
+func (s *signal) fireFlow(f *netsim.Flow) {
+	if !s.fired && f != nil {
+		s.hasFlow = true
+		s.stall = f.ContentionStall()
+		s.fault = f.FaultTime()
+	}
+	s.fire()
+}
+
+// blameFor decomposes a waiter's blocked window [t0, t0+w] by the
+// signal's firing cause. A wait released by a collective op takes the
+// op's blame over the overlap of the wait with the op's lifetime (the
+// pre-overlap part was dependency ordering — serialized); a wait
+// released by a flow splits by the flow's measured integrals; a wait
+// with no recorded cause is pure serialization. The result always sums
+// to w exactly.
+func (s *signal) blameFor(w float64, t0 sim.Time) critpath.Blame {
+	switch {
+	case w <= 0:
+		return critpath.Blame{}
+	case s.op != nil:
+		return waitBlame(w, t0, s.op)
+	case s.hasFlow:
+		return critpath.ClampBlame(w, s.stall, s.fault)
+	}
+	return critpath.Blame{Serial: w}
 }
 
 func (s *signal) wait(fn func()) {

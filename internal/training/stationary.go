@@ -1,6 +1,8 @@
 package training
 
 import (
+	"github.com/wafernet/fred/internal/collective"
+	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/parallelism"
 	"github.com/wafernet/fred/internal/sim"
 )
@@ -28,6 +30,10 @@ type replica struct {
 
 	actReady  []*signal // per microbatch: forward activation arrived
 	gradReady []*signal // per microbatch: backward gradient arrived
+
+	// segs records the replica's critical execution chain (compute
+	// spans, MP waits, PP waits) when critpath recording is on.
+	segs segRecorder
 }
 
 // stationaryRun wires up the replicas and runs one weight-stationary
@@ -62,6 +68,7 @@ func (e *engine) runStationary() (*Report, error) {
 			for _, l := range stages[pp] {
 				r.perLayer = append(r.perLayer, l.Params)
 			}
+			r.segs.rec = e.crit
 			r.microbatch = float64(cfg.MinibatchPerReplica) / float64(M)
 			r.fwdCompute = e.computeSeconds(st.fwdFLOPs * r.microbatch / float64(s.MP))
 			var rc bool
@@ -109,7 +116,19 @@ func (e *engine) runStationary() (*Report, error) {
 				rank := s.Rank(parallelism.Worker{MP: mp, DP: dp, PP: pp})
 				group[dp] = cfg.Placement[rank]
 			}
-			e.arb.submit(ClassDP, e.comm.AllReduce(group, bytes), func() {})
+			e.arb.submit(ClassDP, e.comm.AllReduce(group, bytes), func(op *collective.Op) {
+				if e.crit == nil || op == nil {
+					return
+				}
+				// Aggregate the DP ops' blame ratios: they split the
+				// post-finish gradient-sync tail, since the tail is the
+				// drain of exactly these ops.
+				e.dpBlame.Add(op.Blame())
+				if d := op.Duration(); d > e.dpMaxDur {
+					e.dpMaxDur = d
+					e.dpBind = op.BindLink()
+				}
+			})
 		}
 	}
 
@@ -160,6 +179,17 @@ func (e *engine) runStationary() (*Report, error) {
 			npus = append(npus, npuTime(npu, total, r.compute, r.blocked, dpExtra))
 		}
 	}
+	var critIt *critpath.Iteration
+	if e.crit != nil {
+		// The iteration's critical path is the critical replica's chain
+		// (which tiles [start, finished]) plus the post-finish DP drain,
+		// blamed by the aggregated DP ops' ratios.
+		if dp := end - crit.finished; dp > 0 && s.DP > 1 {
+			crit.segs.add(critpath.KindWait, ClassDP.String(), "dp-sync",
+				crit.finished, end, e.dpBlame.Split(dp), e.dpBind, 0)
+		}
+		critIt = e.buildIteration(total, crit.segs.segs)
+	}
 	return &Report{
 		Config:              cfg,
 		Total:               total,
@@ -168,6 +198,7 @@ func (e *engine) runStationary() (*Report, error) {
 		ActivationRecompute: recomputed,
 		Comm:                e.stats.stats,
 		NPUs:                sortNPUs(npus),
+		CritPath:            critIt,
 	}, nil
 }
 
@@ -184,7 +215,11 @@ func (r *replica) run(reps [][]*replica, M, nb int, dpReady func(pp, bucket, dp 
 	blockedWait := func(sig *signal, class Class, cont func()) {
 		t0 := e.sched.Now()
 		sig.wait(func() {
-			r.blocked[class] += e.sched.Now() - t0
+			now := e.sched.Now()
+			r.blocked[class] += now - t0
+			if r.segs.rec != nil && now > t0 {
+				r.segs.sigWait(class, "pp-wait", t0, now, sig)
+			}
 			cont()
 		})
 	}
@@ -194,13 +229,21 @@ func (r *replica) run(reps [][]*replica, M, nb int, dpReady func(pp, bucket, dp 
 			return
 		}
 		t0 := e.sched.Now()
-		e.arb.submit(ClassMP, e.comm.AllReduce(r.npus, bytes), func() {
-			r.blocked[ClassMP] += e.sched.Now() - t0
+		e.arb.submit(ClassMP, e.comm.AllReduce(r.npus, bytes), func(op *collective.Op) {
+			now := e.sched.Now()
+			r.blocked[ClassMP] += now - t0
+			if r.segs.rec != nil && now > t0 {
+				r.segs.opWait(ClassMP, opLabel(op, "mp-allreduce"), t0, now, op)
+			}
 			cont()
 		})
 	}
 	compute := func(d float64, cont func()) {
 		r.compute += d
+		if r.segs.rec != nil && d > 0 {
+			t0 := e.sched.Now()
+			r.segs.compute("compute", t0, t0+d)
+		}
 		e.sched.After(d, cont)
 	}
 	ppSend := func(toPP int, bytes float64, fire *signal) {
@@ -208,7 +251,8 @@ func (r *replica) run(reps [][]*replica, M, nb int, dpReady func(pp, bucket, dp 
 		// every NPU of the adjacent stage (footnote 8); the sender does
 		// not block.
 		dst := reps[r.dp][toPP]
-		e.arb.submit(ClassPP, e.comm.Multicast(r.npus[0], dst.npus, bytes), func() { fire.fire() })
+		e.arb.submit(ClassPP, e.comm.Multicast(r.npus[0], dst.npus, bytes),
+			func(op *collective.Op) { fire.fireOp(op) })
 	}
 
 	var exec func(i int)

@@ -64,12 +64,12 @@ func newStatsArbiter(inner arbiter, e *engine) *statsArbiter {
 	return &statsArbiter{inner: inner, e: e, stats: make(CommStats), tr: e.cfg.Tracer, cat: cat}
 }
 
-func (a *statsArbiter) submit(class Class, s collective.Schedule, done func()) {
+func (a *statsArbiter) submit(class Class, s collective.Schedule, done func(*collective.Op)) {
 	t0 := a.e.sched.Now()
 	bytes := s.TotalBytes()
 	a.opSeq++
 	id := a.opSeq
-	a.inner.submit(class, s, func() {
+	a.inner.submit(class, s, func(op *collective.Op) {
 		st := a.stats[class]
 		st.Ops++
 		st.Bytes += bytes
@@ -81,6 +81,6 @@ func (a *statsArbiter) submit(class Class, s collective.Schedule, done func()) {
 				trace.String("strategy", a.e.cfg.Strategy.String()),
 				trace.Float("bytes", bytes))
 		}
-		done()
+		done(op)
 	})
 }

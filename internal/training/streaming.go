@@ -2,6 +2,7 @@ package training
 
 import (
 	"github.com/wafernet/fred/internal/collective"
+	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/netsim"
 	"github.com/wafernet/fred/internal/parallelism"
 	"github.com/wafernet/fred/internal/sim"
@@ -77,10 +78,10 @@ func (e *engine) runStreaming() (*Report, error) {
 					Bytes:   bytes,
 					Latency: -1,
 					Label:   "weight-load",
-					Done: func(*netsim.Flow) {
+					Done: func(f *netsim.Flow) {
 						remaining--
 						if remaining == 0 {
-							loaded[i].fire()
+							loaded[i].fireFlow(f)
 							startLoad(i + 1)
 						}
 					},
@@ -117,6 +118,10 @@ func (e *engine) runStreaming() (*Report, error) {
 	var blocked [numClasses]float64
 	var finished sim.Time
 	start := e.sched.Now()
+	// chain records the global critical execution chain (streaming
+	// drives every NPU with the same wave timeline) when critpath
+	// recording is on.
+	chain := segRecorder{rec: e.crit}
 
 	// stageGroups returns the placed NPU groups for MP collectives of
 	// stage p: one group per DP replica.
@@ -143,10 +148,16 @@ func (e *engine) runStreaming() (*Report, error) {
 		}
 		done := 0
 		for _, sc := range scheds {
-			e.arb.submit(class, sc, func() {
+			e.arb.submit(class, sc, func(op *collective.Op) {
 				done++
 				if done == n {
-					blocked[class] += e.sched.Now() - t0
+					now := e.sched.Now()
+					blocked[class] += now - t0
+					if e.crit != nil && now > t0 {
+						// The last op to drain released the wave barrier:
+						// blame the window by it.
+						chain.opWait(class, opLabel(op, class.String()), t0, now, op)
+					}
 					cont()
 				}
 			})
@@ -184,6 +195,10 @@ func (e *engine) runStreaming() (*Report, error) {
 				}
 			}
 			compute += maxCompute
+			if e.crit != nil && maxCompute > 0 {
+				now := e.sched.Now()
+				chain.compute("wave-compute", now, now+maxCompute)
+			}
 			e.sched.After(maxCompute, func() {
 				// MP collectives of the active stages, all DP replicas.
 				var mpScheds []collective.Schedule
@@ -230,7 +245,11 @@ func (e *engine) runStreaming() (*Report, error) {
 	fwdGroup = func(g int) {
 		t0 := e.sched.Now()
 		loaded[g].wait(func() {
-			blocked[ClassStream] += e.sched.Now() - t0
+			now := e.sched.Now()
+			blocked[ClassStream] += now - t0
+			if e.crit != nil && now > t0 {
+				chain.sigWait(ClassStream, "weight-load", t0, now, loaded[g])
+			}
 			runGroup(g, false, func() {
 				computeDone[g].fire()
 				if g+1 < G {
@@ -245,7 +264,11 @@ func (e *engine) runStreaming() (*Report, error) {
 		idx := 2*G - 1 - g // load-order index of this backward group
 		t0 := e.sched.Now()
 		loaded[idx].wait(func() {
-			blocked[ClassStream] += e.sched.Now() - t0
+			now := e.sched.Now()
+			blocked[ClassStream] += now - t0
+			if e.crit != nil && now > t0 {
+				chain.sigWait(ClassStream, "weight-load", t0, now, loaded[idx])
+			}
 			runGroup(g, true, func() {
 				computeDone[idx].fire()
 				startStore(g)
@@ -273,10 +296,16 @@ func (e *engine) runStreaming() (*Report, error) {
 				Bytes:   bytes,
 				Latency: -1,
 				Label:   "input-load",
-				Done: func(*netsim.Flow) {
+				Done: func(f *netsim.Flow) {
 					remaining--
 					if remaining == 0 {
-						blocked[ClassLoad] += e.sched.Now() - t0
+						now := e.sched.Now()
+						blocked[ClassLoad] += now - t0
+						if e.crit != nil && now > t0 {
+							chain.add(critpath.KindWait, ClassLoad.String(), "input-load",
+								t0, now, critpath.ClampBlame(now-t0, f.ContentionStall(), f.FaultTime()),
+								f.BindLinkName(), 0)
+						}
 						startLoad(0)
 						beginCompute()
 					}
@@ -314,6 +343,15 @@ func (e *engine) runStreaming() (*Report, error) {
 	for rank := 0; rank < s.Workers(); rank++ {
 		npus = append(npus, npuTime(cfg.Placement[rank], total, compute, streamBlocked, 0))
 	}
+	var critIt *critpath.Iteration
+	if e.crit != nil {
+		// The post-finish store drain is a serialized streaming tail.
+		if tail := end - finished; tail > 0 {
+			chain.add(critpath.KindWait, ClassStream.String(), "grad-store-drain",
+				finished, end, critpath.Blame{Serial: tail}, "", 0)
+		}
+		critIt = e.buildIteration(total, chain.segs)
+	}
 	return &Report{
 		Config:    cfg,
 		Total:     total,
@@ -321,5 +359,6 @@ func (e *engine) runStreaming() (*Report, error) {
 		PerSample: total / float64(cfg.Minibatch()),
 		Comm:      e.stats.stats,
 		NPUs:      sortNPUs(npus),
+		CritPath:  critIt,
 	}, nil
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"github.com/wafernet/fred/internal/collective"
+	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/netsim"
 	"github.com/wafernet/fred/internal/parallelism"
 	"github.com/wafernet/fred/internal/placement"
@@ -202,6 +203,12 @@ type Report struct {
 	// NPU id): compute, per-class exposed communication, and idle,
 	// summing exactly to Total on every row.
 	NPUs []NPUTime
+	// CritPath is the causal critical-path analysis of the iteration —
+	// the exact compute / comm-serialized / comm-contention /
+	// fault-recovery / idle decomposition plus the dominant path
+	// segments. Nil unless the wafer's network has a critpath recorder
+	// attached (netsim.SetCritPath) before Simulate.
+	CritPath *critpath.Iteration
 }
 
 func (r *Report) String() string {
@@ -271,6 +278,17 @@ type engine struct {
 	comm  *collective.Comm
 	arb   arbiter
 	stats *statsArbiter
+	// crit is the network's critpath recorder (nil when critpath
+	// recording is off); the engines record the critical execution
+	// chain into it and build Report.CritPath from it.
+	crit *critpath.Recorder
+
+	// DP-tail blame (stationary mode): the aggregated blame of the DP
+	// gradient-sync ops, used to split the post-finish tail, and the
+	// binding link of the longest DP op.
+	dpBlame  critpath.Blame
+	dpMaxDur float64
+	dpBind   string
 }
 
 func newEngine(cfg *Config) *engine {
@@ -285,6 +303,7 @@ func newEngine(cfg *Config) *engine {
 		sched: net.Scheduler(),
 		net:   net,
 		comm:  collective.NewComm(cfg.Wafer),
+		crit:  net.CritPath(),
 	}
 	if f, ok := cfg.Wafer.(*topology.FredFabric); ok {
 		e.arb = newFredArbiter(net, f)
