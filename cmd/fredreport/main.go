@@ -201,11 +201,17 @@ func parseBench(in io.Reader) (*metrics.Registry, int, error) {
 		}
 		reg.Gauge(prefix+"ns_per_op", "ns/op").SetBetter("lower").Set(ns)
 		if m[3] != "" {
-			b, _ := strconv.ParseFloat(m[3], 64)
+			b, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bad B/op in %q: %v", sc.Text(), err)
+			}
 			reg.Gauge(prefix+"bytes_per_op", "B/op").SetBetter("lower").Set(b)
 		}
 		if m[4] != "" {
-			a, _ := strconv.ParseFloat(m[4], 64)
+			a, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bad allocs/op in %q: %v", sc.Text(), err)
+			}
 			reg.Gauge(prefix+"allocs_per_op", "allocs/op").SetBetter("lower").Set(a)
 		}
 	}

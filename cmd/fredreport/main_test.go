@@ -120,6 +120,20 @@ ok   github.com/wafernet/fred/internal/netsim  5.0s`
 	}
 }
 
+// Malformed memory fields must be reported, not silently recorded as 0
+// and waved through the regression gate.
+func TestParseBenchMalformedMemFields(t *testing.T) {
+	bad := "BenchmarkX-4 100 10 ns/op 3.6.9 B/op 8 allocs/op\n"
+	if _, _, err := parseBench(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "B/op") {
+		t.Fatalf("malformed B/op: got err %v, want bad B/op error", err)
+	}
+	huge := strings.Repeat("9", 400) // overflows float64
+	bad2 := "BenchmarkY-4 100 10 ns/op 1 B/op " + huge + " allocs/op\n"
+	if _, _, err := parseBench(strings.NewReader(bad2)); err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("overflowing allocs/op: got err %v, want bad allocs/op error", err)
+	}
+}
+
 // Round trip: parsed bench output compares clean against itself and
 // regresses against a slower run.
 func TestBenchRoundTripGate(t *testing.T) {

@@ -124,6 +124,7 @@ func main() {
 	metricsPath := ""
 	critPathOut := ""
 	cpuProfile := ""
+	noSchedCache := false
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	fs.BoolVar(&includeAB, "ab", false, "include Fred-A and Fred-B in fig10")
 	fs.BoolVar(&csv, "csv", false, "emit CSV instead of aligned tables")
@@ -133,12 +134,16 @@ func main() {
 	fs.StringVar(&metricsPath, "metrics", "", "write a fred-metrics JSON artifact (manifest + all series) to this file")
 	fs.StringVar(&critPathOut, "critpath", "", "write a fred-critpath JSON artifact (per-iteration blame decomposition) to this file")
 	fs.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile of the simulator to this file")
+	fs.BoolVar(&noSchedCache, "noschedcache", false, "disable the cross-cell compiled-schedule cache (results are byte-identical either way)")
 	if err := fs.Parse(rest); err != nil {
 		os.Exit(2)
 	}
 
 	session := experiments.NewSession()
 	session.SetParallel(parallel)
+	if noSchedCache {
+		session.ShareSchedules(false)
+	}
 	var rec *trace.Recorder
 	if tracePath != "" {
 		rec = trace.NewRecorder()

@@ -11,21 +11,67 @@ import (
 // the algorithm per Section 7.2: ring-based endpoint algorithms on the
 // mesh, the hierarchical 2D ring for non-in-network FRED variants
 // (Fred-A/C), and in-switch execution for Fred-B/D.
+//
+// Compiled schedules are memoized under a canonical (kind, endpoints,
+// group, bytes, fabric-state epoch) key — see compile.go — so the
+// steady-state training loop replays immutable, route-pre-resolved
+// schedules instead of rebuilding them every iteration.
 type Comm struct {
 	w topology.Wafer
+
+	// Memoization state (compile.go): the per-Comm memo of prepared
+	// schedules, the reused key scratch buffer, and the optional
+	// cross-cell shared cache of raw schedules.
+	memoize  bool
+	memo     map[string]Schedule
+	keyBuf   []byte
+	shared   *SharedCache
+	fabricID string
 }
 
-// NewComm returns a compiler for the given wafer.
-func NewComm(w topology.Wafer) *Comm { return &Comm{w: w} }
+// NewComm returns a compiler for the given wafer, with schedule
+// memoization on.
+func NewComm(w topology.Wafer) *Comm {
+	return &Comm{w: w, memoize: true, memo: make(map[string]Schedule)}
+}
 
 // Wafer returns the topology the compiler targets.
 func (c *Comm) Wafer() topology.Wafer { return c.w }
+
+// UnsupportedWaferError reports a collective requested on a wafer type
+// the compiler has no algorithm for. It reaches callers as Schedule.Err
+// → Op.Err → experiments.CellError, so a misconfigured cell fails
+// cleanly instead of panicking the sweep.
+type UnsupportedWaferError struct {
+	Collective string // e.g. "allreduce"
+	WaferType  string // the dynamic topology type, e.g. "*topology.Mesh"
+}
+
+func (e *UnsupportedWaferError) Error() string {
+	return fmt.Sprintf("collective: %s: unsupported wafer type %s", e.Collective, e.WaferType)
+}
+
+// unsupported builds the errored schedule the dispatch methods return
+// in place of the old panic.
+func (c *Comm) unsupported(collective string) Schedule {
+	return Schedule{
+		Name: collective + "(unsupported)",
+		Err:  &UnsupportedWaferError{Collective: collective, WaferType: fmt.Sprintf("%T", c.w)},
+	}
+}
 
 // AllReduce compiles an all-reduce of bytes across the group.
 func (c *Comm) AllReduce(group []int, bytes float64) Schedule {
 	if len(group) <= 1 || bytes <= 0 {
 		return Schedule{Name: "allreduce(noop)"}
 	}
+	if s, ok := c.lookup(kindAllReduce, 0, 0, group, bytes); ok {
+		return s
+	}
+	return c.insert(c.buildAllReduce(group, bytes))
+}
+
+func (c *Comm) buildAllReduce(group []int, bytes float64) Schedule {
 	switch w := c.w.(type) {
 	case *topology.Mesh:
 		return MeshAllReduce(w, group, bytes)
@@ -53,7 +99,7 @@ func (c *Comm) AllReduce(group []int, bytes float64) Schedule {
 		}
 		return RingAllReduce(w, group, bytes, true)
 	}
-	panic(fmt.Sprintf("collective: unsupported wafer type %T", c.w))
+	return c.unsupported("allreduce")
 }
 
 // treeReduce compiles an in-switch reduce toward root on any router:
@@ -90,6 +136,13 @@ func (c *Comm) ReduceScatter(group []int, bytes float64) Schedule {
 	if len(group) <= 1 || bytes <= 0 {
 		return Schedule{Name: "reducescatter(noop)"}
 	}
+	if s, ok := c.lookup(kindReduceScatter, 0, 0, group, bytes); ok {
+		return s
+	}
+	return c.insert(c.buildReduceScatter(group, bytes))
+}
+
+func (c *Comm) buildReduceScatter(group []int, bytes float64) Schedule {
 	switch w := c.w.(type) {
 	case *topology.Mesh:
 		return MeshReduceScatter(w, group, bytes)
@@ -109,7 +162,7 @@ func (c *Comm) ReduceScatter(group []int, bytes float64) Schedule {
 		}
 		return RingReduceScatter(w, group, bytes, true)
 	}
-	panic(fmt.Sprintf("collective: unsupported wafer type %T", c.w))
+	return c.unsupported("reducescatter")
 }
 
 // AllGather compiles an all-gather of bytes across the group.
@@ -117,6 +170,13 @@ func (c *Comm) AllGather(group []int, bytes float64) Schedule {
 	if len(group) <= 1 || bytes <= 0 {
 		return Schedule{Name: "allgather(noop)"}
 	}
+	if s, ok := c.lookup(kindAllGather, 0, 0, group, bytes); ok {
+		return s
+	}
+	return c.insert(c.buildAllGather(group, bytes))
+}
+
+func (c *Comm) buildAllGather(group []int, bytes float64) Schedule {
 	switch w := c.w.(type) {
 	case *topology.Mesh:
 		return MeshAllGather(w, group, bytes)
@@ -136,18 +196,24 @@ func (c *Comm) AllGather(group []int, bytes float64) Schedule {
 		}
 		return RingAllGather(w, group, bytes, true)
 	}
-	panic(fmt.Sprintf("collective: unsupported wafer type %T", c.w))
+	return c.unsupported("allgather")
 }
 
 // AllToAll compiles an all-to-all where each member distributes bytes
 // across the group.
 func (c *Comm) AllToAll(group []int, bytes float64) Schedule {
-	return AllToAll(c.w, group, bytes)
+	if s, ok := c.lookup(kindAllToAll, 0, 0, group, bytes); ok {
+		return s
+	}
+	return c.insert(AllToAll(c.w, group, bytes))
 }
 
 // P2P compiles a point-to-point transfer.
 func (c *Comm) P2P(src, dst int, bytes float64) Schedule {
-	return Unicast(c.w, src, dst, bytes)
+	if s, ok := c.lookup(kindP2P, src, dst, nil, bytes); ok {
+		return s
+	}
+	return c.insert(Unicast(c.w, src, dst, bytes))
 }
 
 // Multicast compiles a one-to-many transfer: a forwarding tree on the
@@ -158,6 +224,13 @@ func (c *Comm) Multicast(src int, dsts []int, bytes float64) Schedule {
 	if bytes <= 0 {
 		return Schedule{Name: "multicast(noop)"}
 	}
+	if s, ok := c.lookup(kindMulticast, src, 0, dsts, bytes); ok {
+		return s
+	}
+	return c.insert(c.buildMulticast(src, dsts, bytes))
+}
+
+func (c *Comm) buildMulticast(src int, dsts []int, bytes float64) Schedule {
 	if t, ok := c.w.(*topology.FredTree); ok && !t.InNetwork() {
 		s := Schedule{Name: fmt.Sprintf("multicast-unicasts(%d)", len(dsts))}
 		var ph Phase

@@ -53,13 +53,23 @@ func (d detourRouter) RouteLatency(src, dst int) float64 {
 // variants keep their usual schedules over the shrunken group, since
 // partial switch loss is modelled as trunk degradation rather than
 // route loss.
+// The whole compilation — alive-group filtering included — is a pure
+// function of the fabric-state epoch, so it is memoized under its own
+// key on the original group; a Fail/Restore bumps the epoch and the
+// next call re-filters and re-plans.
 func (c *Comm) AllReduceDegraded(group []int, bytes float64) Schedule {
-	alive := AliveGroup(c.w, group)
-	if len(alive) <= 1 || bytes <= 0 {
+	if bytes <= 0 {
 		return Schedule{Name: "allreduce(noop)"}
 	}
-	if m, ok := c.w.(*topology.Mesh); ok {
-		return RingAllReduce(detourRouter{m}, SnakeOrder(m, alive), bytes, true)
+	if s, ok := c.lookup(kindAllReduceDegraded, 0, 0, group, bytes); ok {
+		return s
 	}
-	return c.AllReduce(alive, bytes)
+	alive := AliveGroup(c.w, group)
+	if len(alive) <= 1 {
+		return c.insert(Schedule{Name: "allreduce(noop)"})
+	}
+	if m, ok := c.w.(*topology.Mesh); ok {
+		return c.insert(RingAllReduce(detourRouter{m}, SnakeOrder(m, alive), bytes, true))
+	}
+	return c.insert(c.buildAllReduce(alive, bytes))
 }

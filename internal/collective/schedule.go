@@ -40,6 +40,11 @@ type Transfer struct {
 	// transfers use their depth, pipelined rings their fill time
 	// (steps × hop latency).
 	LatencyOverride float64
+
+	// prepared, set by the schedule compiler (compile.go), carries the
+	// route pre-resolved against the target network so replay skips
+	// per-flow dedup/latency work. Nil on hand-built schedules.
+	prepared *netsim.PreparedRoute
 }
 
 // Phase is a set of transfers that proceed concurrently; the phase
@@ -50,6 +55,11 @@ type Phase []Transfer
 type Schedule struct {
 	Name   string
 	Phases []Phase
+	// Err marks a schedule that could not be compiled (e.g. an
+	// unsupported wafer type): Start fails the Op with it through the
+	// ordinary Op.Err path instead of panicking, so one bad cell
+	// surfaces as a CellError rather than killing a parallel sweep.
+	Err error
 }
 
 // TotalBytes returns the sum of bytes over all transfers — the total
@@ -77,8 +87,13 @@ func (s Schedule) LinkBytes() map[netsim.LinkID]float64 {
 	return out
 }
 
-// Empty reports whether the schedule moves no data.
+// Empty reports whether the schedule moves no data. An errored
+// schedule is never empty: it must reach Start so the error surfaces
+// through the Op instead of being skipped as a no-op.
 func (s Schedule) Empty() bool {
+	if s.Err != nil {
+		return false
+	}
 	for _, ph := range s.Phases {
 		if len(ph) > 0 {
 			return false
@@ -147,6 +162,10 @@ func Start(net *netsim.Network, schedule Schedule, onDone func(*Op)) *Op {
 		})
 		op.phaseStart = op.started
 	}
+	if schedule.Err != nil {
+		op.fail(schedule.Err)
+		return op
+	}
 	op.startPhase()
 	return op
 }
@@ -210,6 +229,7 @@ func (op *Op) startPhase() {
 			Links:      t.Links,
 			Bytes:      t.Bytes,
 			Latency:    lat,
+			Prepared:   t.prepared,
 			Label:      op.schedule.Name,
 			Done:       func(f *netsim.Flow) { op.flowDone(f) },
 			OnFail:     func(f *netsim.Flow) { op.flowAborted(f) },

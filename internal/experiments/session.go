@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/wafernet/fred/internal/collective"
 	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/metrics"
 	"github.com/wafernet/fred/internal/netsim"
@@ -36,6 +37,17 @@ type Session struct {
 	collectMetrics bool
 	collectCrit    bool
 	parallel       int
+
+	// schedCache shares compiled healthy-fabric collective schedules
+	// across every cell the session runs: the first cell to need an
+	// all-reduce on a given system compiles it once, and every later
+	// cell — same study or not, same worker or not — replays the raw
+	// schedule instead of rebuilding it. forEach's child sessions
+	// inherit the pointer, so the cache spans the whole fan-out. Safe
+	// because the shared entries are LinkID-level (no network pointers)
+	// and keyed by the System fingerprint; see collective.SharedCache.
+	// Nil when sharing is disabled (ShareSchedules(false)).
+	schedCache *collective.SharedCache
 
 	mu       sync.Mutex
 	buildSeq int
@@ -92,6 +104,20 @@ func NewSession() *Session {
 		linkTables:  report.NewCollector(),
 		metricsColl: metrics.NewCollector(),
 		critColl:    critpath.NewCollector(),
+		schedCache:  collective.NewSharedCache(),
+	}
+}
+
+// ShareSchedules toggles the cross-cell compiled-schedule cache
+// (on by default). Turning it off makes every cell compile its own
+// schedules from scratch — the -noschedcache escape hatch for
+// isolating cache bugs; results are byte-identical either way.
+// Turning it back on starts from an empty cache.
+func (s *Session) ShareSchedules(on bool) {
+	if on {
+		s.schedCache = collective.NewSharedCache()
+	} else {
+		s.schedCache = nil
 	}
 }
 
@@ -218,6 +244,7 @@ func (s *Session) forEach(study string, n int, fn func(cell int, cs *Session)) {
 		c.collectMetrics = s.collectMetrics
 		c.collectCrit = s.collectCrit
 		c.parallel = 1
+		c.schedCache = s.schedCache
 		children[i] = c
 		slots[i] = s.linkTables.Reserve()
 		mslots[i] = s.metricsColl.Reserve()
@@ -300,6 +327,8 @@ func (s *Session) runTraining(sys System, m *workload.Model, strat parallelism.S
 		Strategy:            strat,
 		MinibatchPerReplica: perReplica,
 		Tracer:              s.tracer,
+		Schedules:           s.schedCache,
+		FabricID:            string(sys),
 	})
 	if err != nil {
 		return nil, err

@@ -43,7 +43,10 @@ func (ic *Interconnect) FailElement(id int) {
 	if ic.failed == nil {
 		ic.failed = make([]bool, len(ic.elements))
 	}
-	ic.failed[id] = true
+	if !ic.failed[id] {
+		ic.failed[id] = true
+		ic.faultEpoch++
+	}
 }
 
 // ElementFailed reports whether FailElement was called on the element.

@@ -52,13 +52,40 @@ func (st FlitStats) Throughput(port int) float64 {
 	return float64(st.Flits-1) / float64(last-first)
 }
 
+// FlitSimError reports a flit-level simulation that could not
+// complete: a non-positive flit count, a convergence-budget overrun,
+// or a stall (no deliveries while outputs still expect flits — a
+// cyclic or inconsistent configuration, impossible for plans produced
+// by Route but reachable from hand-built or fault-corrupted ones). It
+// carries the failing cycle and the offending flit state — the deepest
+// pending input queue at that cycle — so a cell-level report can say
+// where the pipeline wedged.
+type FlitSimError struct {
+	Reason string // "did not converge", "stalled", "needs at least one flit"
+	Cycle  int    // cycle at which the simulation gave up
+	// Deepest pending input queue when the simulation gave up: element
+	// ID and local port, with its arrived/consumed flit counts. Elem is
+	// -1 when no queue held undelivered flits.
+	Elem, Port        int
+	Arrived, Consumed int
+}
+
+func (e *FlitSimError) Error() string {
+	if e.Elem < 0 {
+		return fmt.Sprintf("fred: flit simulation %s (cycle %d)", e.Reason, e.Cycle)
+	}
+	return fmt.Sprintf("fred: flit simulation %s (cycle %d; deepest pending queue: element %d port %d, %d arrived / %d consumed)",
+		e.Reason, e.Cycle, e.Elem, e.Port, e.Arrived, e.Consumed)
+}
+
 // Run streams nFlits flits into every active input port and simulates
-// until every output of every flow has drained. It panics if the
-// simulation fails to make progress (a cyclic or inconsistent
-// configuration — impossible for plans produced by Route).
-func (f *FlitSim) Run(nFlits int) FlitStats {
+// until every output of every flow has drained. A simulation that
+// cannot make progress returns a *FlitSimError carrying the cycle and
+// the wedged queue; callers running per-cell (experiments.Session)
+// surface it like any other cell failure instead of dying on a panic.
+func (f *FlitSim) Run(nFlits int) (FlitStats, error) {
 	if nFlits <= 0 {
-		panic("fred: need at least one flit")
+		return FlitStats{}, &FlitSimError{Reason: "needs at least one flit", Elem: -1}
 	}
 	type portKey struct{ elem, port int }
 	// queues[k] holds the next flit index expected... we track counts:
@@ -66,6 +93,27 @@ func (f *FlitSim) Run(nFlits int) FlitStats {
 	// the index of its head flit.
 	arrived := make(map[portKey]int) // flits delivered INTO the port so far
 	consumed := make(map[portKey]int)
+
+	// wedge builds the failure error: the deepest pending input queue
+	// (ties broken by smallest element, then port, so map iteration
+	// order cannot leak into the message) is the offending flit state.
+	wedge := func(reason string, cycle int) *FlitSimError {
+		e := &FlitSimError{Reason: reason, Cycle: cycle, Elem: -1}
+		best := 0
+		for k, a := range arrived {
+			depth := a - consumed[k]
+			if depth <= 0 {
+				continue
+			}
+			if e.Elem < 0 || depth > best ||
+				(depth == best && (k.elem < e.Elem || (k.elem == e.Elem && k.port < e.Port))) {
+				best = depth
+				e.Elem, e.Port = k.elem, k.port
+				e.Arrived, e.Consumed = a, consumed[k]
+			}
+		}
+		return e
+	}
 
 	// Active input ports inject; map them to their element ports.
 	activeIn := make(map[int]bool)
@@ -101,7 +149,7 @@ func (f *FlitSim) Run(nFlits int) FlitStats {
 	const maxCycles = 1 << 20
 	for cycle := 0; ; cycle++ {
 		if cycle > maxCycles {
-			panic("fred: flit simulation did not converge")
+			return stats, wedge("did not converge", cycle)
 		}
 		stats.Cycles = cycle
 		if done() {
@@ -152,7 +200,7 @@ func (f *FlitSim) Run(nFlits int) FlitStats {
 		}
 
 		if len(deliveries) == 0 && cycle >= nFlits {
-			panic(fmt.Sprintf("fred: flit simulation stalled at cycle %d", cycle))
+			return stats, wedge("stalled", cycle)
 		}
 
 		// Apply arrivals (visible next cycle).
@@ -173,5 +221,5 @@ func (f *FlitSim) Run(nFlits int) FlitStats {
 			}
 		}
 	}
-	return stats
+	return stats, nil
 }

@@ -16,7 +16,10 @@ func TestFlitSimLineRateAllReduce(t *testing.T) {
 		ports[i] = i
 	}
 	plan := ic.MustRoute([]Flow{AllReduce(ports)})
-	st := NewFlitSim(plan).Run(256)
+	st, err := NewFlitSim(plan).Run(256)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range ports {
 		if th := st.Throughput(p); th < 0.999 {
 			t.Errorf("port %d throughput %.3f flits/cycle, want line rate", p, th)
@@ -30,7 +33,10 @@ func TestFlitSimConcurrentFlowsLineRate(t *testing.T) {
 		AllReduce([]int{0, 1, 2}),
 		AllReduce([]int{3, 4, 5}),
 	})
-	st := NewFlitSim(plan).Run(128)
+	st, err := NewFlitSim(plan).Run(128)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range []int{0, 1, 2, 3, 4, 5} {
 		if th := st.Throughput(p); th < 0.999 {
 			t.Errorf("port %d throughput %.3f", p, th)
@@ -44,7 +50,10 @@ func TestFlitSimUnitBuffersSuffice(t *testing.T) {
 	ic := NewInterconnect(3, 8)
 	ports := []int{0, 1, 2, 3, 4, 5, 6, 7}
 	plan := ic.MustRoute([]Flow{AllReduce(ports)})
-	st := NewFlitSim(plan).Run(64)
+	st, err := NewFlitSim(plan).Run(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.MaxQueueDepth > 1 {
 		t.Fatalf("max queue depth %d, want ≤ 1", st.MaxQueueDepth)
 	}
@@ -60,7 +69,10 @@ func TestFlitSimDepthGrowsWithPorts(t *testing.T) {
 			ports[i] = i
 		}
 		plan := ic.MustRoute([]Flow{AllReduce(ports)})
-		st := NewFlitSim(plan).Run(4)
+		st, err := NewFlitSim(plan).Run(4)
+		if err != nil {
+			t.Fatal(err)
+		}
 		max := 0
 		for _, d := range st.FirstArrival {
 			if d > max {
@@ -85,7 +97,10 @@ func TestFlitSimUnicastDepthShallow(t *testing.T) {
 	// element depth of its path.
 	ic := NewInterconnect(2, 8)
 	plan := ic.MustRoute([]Flow{Unicast(0, 7)})
-	st := NewFlitSim(plan).Run(16)
+	st, err := NewFlitSim(plan).Run(16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Throughput(7) < 0.999 {
 		t.Fatalf("unicast throughput %.3f", st.Throughput(7))
 	}
@@ -96,15 +111,53 @@ func TestFlitSimUnicastDepthShallow(t *testing.T) {
 	}
 }
 
-func TestFlitSimPanicsOnZeroFlits(t *testing.T) {
+func TestFlitSimZeroFlitsError(t *testing.T) {
 	ic := NewInterconnect(2, 4)
 	plan := ic.MustRoute([]Flow{Unicast(0, 1)})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+	_, err := NewFlitSim(plan).Run(0)
+	fe, ok := err.(*FlitSimError)
+	if !ok {
+		t.Fatalf("got %v, want *FlitSimError", err)
+	}
+	if fe.Elem != -1 {
+		t.Fatalf("zero-flit error names queue element %d, want -1", fe.Elem)
+	}
+}
+
+func TestFlitSimStallError(t *testing.T) {
+	// A hand-corrupted plan wedges the pipeline: a reducing connection
+	// waiting on an input port no flit is ever delivered to can never
+	// fire, so the run must stop with a stall error naming the cycle
+	// and a pending queue — not panic.
+	ic := NewInterconnect(2, 4)
+	plan := ic.MustRoute([]Flow{AllReduce([]int{0, 1, 2, 3})})
+	// Make one connection wait on an input port no flit is ever
+	// delivered to, so it can never fire.
+	corrupted := false
+	for _, conns := range plan.config {
+		if len(conns) > 0 {
+			conns[0].In = append(append([]int{}, conns[0].In...), 999)
+			corrupted = true
+			break
 		}
-	}()
-	NewFlitSim(plan).Run(0)
+	}
+	if !corrupted {
+		t.Fatal("plan has no connection to corrupt")
+	}
+	_, err := NewFlitSim(plan).Run(8)
+	fe, ok := err.(*FlitSimError)
+	if !ok {
+		t.Fatalf("got %v, want *FlitSimError", err)
+	}
+	if fe.Reason != "stalled" {
+		t.Fatalf("reason %q, want \"stalled\"", fe.Reason)
+	}
+	if fe.Cycle <= 0 {
+		t.Fatalf("stall error carries cycle %d, want > 0", fe.Cycle)
+	}
+	if fe.Elem < 0 || fe.Arrived <= fe.Consumed {
+		t.Fatalf("stall error carries no pending queue: %+v", fe)
+	}
 }
 
 // Property: every routable flow set streams at line rate on every
@@ -138,7 +191,10 @@ func TestPropertyFlitSimLineRate(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		st := NewFlitSim(plan).Run(32)
+		st, err := NewFlitSim(plan).Run(32)
+		if err != nil {
+			return false
+		}
 		for _, fl := range flows {
 			for _, out := range fl.OPs {
 				if st.Throughput(out) < 0.999 {

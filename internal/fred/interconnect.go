@@ -35,6 +35,12 @@ type Interconnect struct {
 	// failed flags elements taken out of service (FailElement), indexed
 	// by element ID; nil while the interconnect is healthy.
 	failed []bool
+	// Coloring memo (memo.go): conflict-graph colorings keyed by packed
+	// (adjacency, banned-middle set), with a reused key scratch buffer;
+	// faultEpoch counts FailElement calls for plan-level caches.
+	colorMemo   map[string]colorResult
+	colorKeyBuf []byte
+	faultEpoch  uint64
 }
 
 // NewInterconnect constructs a Fred_m(P) interconnect. m is the number

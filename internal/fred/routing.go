@@ -263,7 +263,7 @@ func (ic *Interconnect) routeStage(st *stage, flows []localFlow, plan *Plan, lev
 	// banned from the palette, and the coloring re-plans over the
 	// survivors.
 	banned := ic.bannedMiddles(st)
-	colors, ok := colorGraph(adj, ic.m, banned)
+	colors, ok := ic.colorCached(adj, banned)
 	if !ok {
 		nBanned := 0
 		for _, b := range banned {

@@ -72,29 +72,36 @@ func (m *Mesh) ChannelFailed(node int, d Direction) bool {
 	return m.failed[[2]int{node, int(d)}]
 }
 
-// rebuildTable recomputes the detour next-hop table: for each
-// destination, a BFS from dst over alive channels (deterministic
-// E/W/S/N expansion) labels every node with its first hop toward dst,
-// or unroutable when no alive path exists.
+// rebuildTable installs the detour next-hop table for the current
+// fault state, consulting the shared cross-mesh cache (tablecache.go)
+// before recomputing: for each destination, a BFS from dst over alive
+// channels (deterministic E/W/S/N expansion) labels every node with
+// its first hop toward dst, or unroutable when no alive path exists.
+// The installed table is shared read-only — a later FailChannel makes
+// the next rebuild resolve a different key into a fresh slice.
 func (m *Mesh) rebuildTable() {
-	n := len(m.routers)
-	if m.table == nil {
-		m.table = make([]Direction, n*n)
+	key := m.tableKey()
+	if t, ok := lookupDetourTable(key); ok {
+		m.table = t
+		m.tableDirty = false
+		return
 	}
+	n := len(m.routers)
+	table := make([]Direction, n*n)
 	dirs := [...]Direction{East, West, South, North}
 	queue := make([]int, 0, n)
 	for dst := 0; dst < n; dst++ {
 		for u := 0; u < n; u++ {
-			m.table[u*n+dst] = unroutable
+			table[u*n+dst] = unroutable
 		}
-		m.table[dst*n+dst] = Local
+		table[dst*n+dst] = Local
 		queue = append(queue[:0], dst)
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
 			for _, d := range dirs {
 				u, ok := m.neighbor(v, d)
-				if !ok || u == dst || m.table[u*n+dst] != unroutable {
+				if !ok || u == dst || table[u*n+dst] != unroutable {
 					continue
 				}
 				// The channel from u toward v runs opposite to d.
@@ -102,10 +109,12 @@ func (m *Mesh) rebuildTable() {
 				if m.failed[[2]int{u, int(ud)}] {
 					continue
 				}
-				m.table[u*n+dst] = ud
+				table[u*n+dst] = ud
 				queue = append(queue, u)
 			}
 		}
 	}
+	m.table = table
 	m.tableDirty = false
+	storeDetourTable(key, table)
 }

@@ -1,0 +1,59 @@
+package meshrouter
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// Detour-table reuse. A BFS next-hop table is a pure function of the
+// mesh dimensions and the failed-channel set, and fault sweeps build
+// many Mesh instances with identical fault states (every seed × K
+// cell re-derives the same handful of tables). The package-level cache
+// shares them read-only: a table is never mutated after construction —
+// a further FailChannel marks the mesh dirty and the next rebuild
+// resolves a different key into a fresh slice — so concurrent cells
+// may alias one backing array safely. The canonical key sorts the
+// failed channels, making it independent of fault-injection order.
+
+var detourTables = struct {
+	sync.RWMutex
+	m map[string][]Direction
+}{m: make(map[string][]Direction)}
+
+// tableKey canonically encodes (W, H, sorted failed channels).
+func (m *Mesh) tableKey() string {
+	chans := make([][2]int, 0, len(m.failed))
+	for c := range m.failed {
+		chans = append(chans, c)
+	}
+	sort.Slice(chans, func(a, b int) bool {
+		if chans[a][0] != chans[b][0] {
+			return chans[a][0] < chans[b][0]
+		}
+		return chans[a][1] < chans[b][1]
+	})
+	buf := make([]byte, 0, 8+4*len(chans))
+	buf = binary.AppendUvarint(buf, uint64(m.cfg.W))
+	buf = binary.AppendUvarint(buf, uint64(m.cfg.H))
+	for _, c := range chans {
+		buf = binary.AppendVarint(buf, int64(c[0]))
+		buf = binary.AppendVarint(buf, int64(c[1]))
+	}
+	return string(buf)
+}
+
+func lookupDetourTable(key string) ([]Direction, bool) {
+	detourTables.RLock()
+	t, ok := detourTables.m[key]
+	detourTables.RUnlock()
+	return t, ok
+}
+
+func storeDetourTable(key string, t []Direction) {
+	detourTables.Lock()
+	// Concurrent meshes may race to store the same key; BFS determinism
+	// makes every candidate identical, so last-write-wins is safe.
+	detourTables.m[key] = t
+	detourTables.Unlock()
+}

@@ -78,6 +78,7 @@ func (l *Link) Fail() {
 	n := l.net
 	n.settle()
 	l.failed = true
+	n.stateEpoch++
 	if n.tracer != nil {
 		n.tracer.Instant("link", "fail "+l.Name, n.sched.Now())
 	}
@@ -124,6 +125,7 @@ func (l *Link) Degrade(factor float64) {
 	}
 	n := l.net
 	n.settle()
+	n.stateEpoch++
 	if l.baseBW == 0 {
 		l.baseBW = l.Bandwidth
 	}
@@ -152,6 +154,7 @@ func (l *Link) Restore() {
 	}
 	n := l.net
 	n.settle()
+	n.stateEpoch++
 	l.Bandwidth = l.baseBW
 	l.baseBW = 0
 	if n.tracer != nil {

@@ -150,6 +150,12 @@ type FlowSpec struct {
 	// OnFail is called when the flow is aborted by a link failure (its
 	// Done callback never runs). It may start new flows.
 	OnFail func(*Flow)
+	// Prepared, when non-nil, supplies the route pre-resolved by
+	// PrepareRoute: StartFlow skips deduplication and latency summation
+	// and adopts the prepared link slices read-only. Links is ignored.
+	// The prepared route must belong to this network and to the current
+	// fabric-state epoch (callers key caches on StateEpoch).
+	Prepared *PreparedRoute
 	// Label tags the flow for debugging and accounting.
 	Label string
 	// CritParent, when non-zero and critpath recording is enabled
@@ -322,9 +328,12 @@ type Network struct {
 
 	// Fault bookkeeping (faults.go): the retry policy applied to flows
 	// torn down by link failures, and a reused scratch slice for
-	// collecting the flows crossing a failing link.
+	// collecting the flows crossing a failing link. stateEpoch counts
+	// fabric mutations (Fail/Degrade/Restore); schedule caches key on
+	// it so stale routes are never replayed (see StateEpoch).
 	retry       RetryPolicy
 	failScratch []*Flow
+	stateEpoch  uint64
 
 	// crit, when non-nil (SetCritPath), records every flow's causal
 	// node, contention stall and binding link into the critpath DAG.
@@ -530,14 +539,26 @@ func (n *Network) StartFlow(spec FlowSpec) *Flow {
 		n.mFlowsStarted.Add(1)
 	}
 	lat := spec.Latency
-	if lat < 0 {
-		lat = 0
-		for _, id := range spec.Links {
-			lat += n.links[id].Latency
+	if p := spec.Prepared; p != nil {
+		if p.net != n {
+			panic(fmt.Sprintf("netsim: flow %q uses a PreparedRoute from a different network", spec.Label))
 		}
+		if lat < 0 {
+			lat = p.latency
+		}
+		f.latency = lat
+		f.links = p.links
+		f.finiteLinks = p.finite
+	} else {
+		if lat < 0 {
+			lat = 0
+			for _, id := range spec.Links {
+				lat += n.links[id].Latency
+			}
+		}
+		f.latency = lat
+		n.buildRoute(f, spec.Links)
 	}
-	f.latency = lat
-	n.buildRoute(f, spec.Links)
 	f.latEvent = n.sched.After(lat, func() {
 		f.latEvent = nil
 		n.activate(f)
@@ -545,12 +566,17 @@ func (n *Network) StartFlow(spec FlowSpec) *Flow {
 	return f
 }
 
-// buildRoute deduplicates the route (a flow occupies each link once no
-// matter how often a route or tree mentions it) into exactly-sized
-// f.links, and filters the finite-bandwidth subset the filling engine
-// iterates. Routes are short, so duplicates are found by linear scan;
-// only pathologically long routes pay for a map.
+// buildRoute resolves the route into the flow's link slices.
 func (n *Network) buildRoute(f *Flow, route []LinkID) {
+	f.links, f.finiteLinks = n.resolveRoute(route)
+}
+
+// resolveRoute deduplicates a route (a flow occupies each link once no
+// matter how often a route or tree mentions it) into an exactly-sized
+// link slice, and filters the finite-bandwidth subset the filling
+// engine iterates. Routes are short, so duplicates are found by linear
+// scan; only pathologically long routes pay for a map.
+func (n *Network) resolveRoute(route []LinkID) (links, finiteLinks []*Link) {
 	if len(route) <= dedupThreshold {
 		uniq := 0
 		for i, id := range route {
@@ -565,49 +591,50 @@ func (n *Network) buildRoute(f *Flow, route []LinkID) {
 				uniq++
 			}
 		}
-		f.links = make([]*Link, 0, uniq)
+		links = make([]*Link, 0, uniq)
 		for _, id := range route {
 			l := n.links[id]
 			dup := false
-			for _, prev := range f.links {
+			for _, prev := range links {
 				if prev == l {
 					dup = true
 					break
 				}
 			}
 			if !dup {
-				f.links = append(f.links, l)
+				links = append(links, l)
 			}
 		}
 	} else {
-		f.links = make([]*Link, 0, len(route))
+		links = make([]*Link, 0, len(route))
 		seen := make(map[LinkID]bool, len(route))
 		for _, id := range route {
 			if !seen[id] {
 				seen[id] = true
-				f.links = append(f.links, n.links[id])
+				links = append(links, n.links[id])
 			}
 		}
 	}
 	finite := 0
-	for _, l := range f.links {
+	for _, l := range links {
 		if !math.IsInf(l.Bandwidth, 1) {
 			finite++
 		}
 	}
 	switch finite {
-	case len(f.links):
-		f.finiteLinks = f.links
+	case len(links):
+		finiteLinks = links
 	case 0:
-		f.finiteLinks = nil
+		finiteLinks = nil
 	default:
-		f.finiteLinks = make([]*Link, 0, finite)
-		for _, l := range f.links {
+		finiteLinks = make([]*Link, 0, finite)
+		for _, l := range links {
 			if !math.IsInf(l.Bandwidth, 1) {
-				f.finiteLinks = append(f.finiteLinks, l)
+				finiteLinks = append(finiteLinks, l)
 			}
 		}
 	}
+	return links, finiteLinks
 }
 
 // traceStage closes the flow's current lifecycle stage with a span on
