@@ -228,6 +228,24 @@ func BenchmarkScalabilityStudy(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleOutStudy regenerates the hierarchical multi-wafer
+// scale-out sweep (2 wafers up to an 8x8 grid) — end-to-end global
+// all-reduce time plus the sharded rate engine's deterministic work
+// counters vs NPU count.
+func BenchmarkScaleOutStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := benchSession().ScaleOutStudy()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+		for _, r := range rows {
+			if r.Hier >= r.Naive {
+				b.Fatalf("scale-out gain regressed: %+v", r)
+			}
+		}
+	}
+}
+
 // BenchmarkInferenceStudy regenerates the decode-latency study.
 func BenchmarkInferenceStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -17,6 +17,8 @@
 //	placement  Figure 5: device placement trade-off
 //	nonaligned Figure 6: non-aligned strategy congestion + heatmap
 //	scaling    extension: wafer-size scaling, mesh vs FRED tree
+//	scaleout   extension: hierarchical multi-wafer scale-out — global
+//	           all-reduce and sharded rate-engine work vs NPU count
 //	inference  future work: auto-regressive decode latency
 //	hw         Tables 3-5: physical parameters and FRED overhead
 //	ablations  design-choice ablations (m, rings, buckets, bisection,
@@ -88,9 +90,9 @@ import (
 // what would have worked.
 var studyNames = []string{
 	"fig1", "fig2", "fig9", "fig10", "fig11a", "fig11b", "meshio",
-	"placement", "nonaligned", "scaling", "inference", "crossover",
-	"batch", "profile", "packets", "heat", "hw", "ablations", "ep",
-	"faults", "summary", "all",
+	"placement", "nonaligned", "scaling", "scaleout", "inference",
+	"crossover", "batch", "profile", "packets", "heat", "hw",
+	"ablations", "ep", "faults", "summary", "all",
 }
 
 func main() {
@@ -214,6 +216,9 @@ func main() {
 		case "scaling":
 			_, tbl := session.ScalabilityStudy()
 			emit(tbl)
+		case "scaleout":
+			_, tbl := session.ScaleOutStudy()
+			emit(tbl)
 		case "inference":
 			_, tbl := session.InferenceStudy()
 			emit(tbl)
@@ -260,7 +265,7 @@ func main() {
 	if cmd == "all" {
 		for _, name := range []string{
 			"hw", "fig1", "meshio", "placement", "nonaligned", "fig2", "fig9",
-			"fig10", "fig11a", "fig11b", "scaling", "inference", "crossover", "batch", "profile", "packets", "heat", "ablations", "ep", "faults", "summary",
+			"fig10", "fig11a", "fig11b", "scaling", "scaleout", "inference", "crossover", "batch", "profile", "packets", "heat", "ablations", "ep", "faults", "summary",
 		} {
 			if !run(name) {
 				panic("internal: unknown experiment " + name)

@@ -226,10 +226,19 @@ type MultiWaferConfig = multiwafer.Config
 // MultiWaferSystem is a set of FRED wafers joined by inter-wafer links.
 type MultiWaferSystem = multiwafer.System
 
+// MultiWaferConfigError is the typed validation error NewMultiWaferErr
+// returns (and NewMultiWafer panics with), naming the offending
+// Config field.
+type MultiWaferConfigError = multiwafer.ConfigError
+
 // NewMultiWafer builds a multi-wafer system; DefaultMultiWaferConfig
 // gives 4 Fred-D wafers with 18 × 128 GB/s boundary ports each.
+// NewMultiWaferErr is the error-returning form. Config.Dims arranges
+// the wafers in a hierarchical scale-out grid (e.g. {8, 8} for 64
+// wafers in an 8×8 torus of boundary-port rings).
 var (
 	NewMultiWafer           = multiwafer.New
+	NewMultiWaferErr        = multiwafer.NewErr
 	DefaultMultiWaferConfig = multiwafer.DefaultConfig
 )
 

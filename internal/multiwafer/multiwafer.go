@@ -16,6 +16,18 @@
 // a single per-wafer leader exchanging the full gradient across wafers
 // (the reduction-tree style of monolithic systems) — to quantify the
 // bandwidth amplification of boundary-parallel exchange.
+//
+// Beyond the paper's fixed 2–8-wafer ring, Config.Dims arranges the
+// wafers in a multi-dimensional scale-out grid (the hierarchical
+// network-model style ASTRA-sim 2.0 uses to reach 1k–100k NPUs): each
+// dimension carries its own set of per-boundary-port rings, the global
+// all-reduce becomes reduce-scatter down the dims / ring-all-reduce on
+// the last / all-gather back up, and payloads shrink by the dimension
+// size at each level. A single dimension reproduces the original
+// Section 8.3 ring model exactly. Per-wafer fabrics and each
+// dimension's rings touch disjoint link sets, so the sharded netsim
+// rate engine (see netsim.SetFillParallel) partitions such a system
+// into many independent contention domains by construction.
 package multiwafer
 
 import (
@@ -37,11 +49,63 @@ type Config struct {
 	// attached to a distinct boundary NPU (the paper's boundary NPUs
 	// are those with I/O access; the baseline wafer has 18 channels).
 	BoundaryPorts int
-	// PortBW is the per-port one-direction inter-wafer bandwidth.
+	// PortBW is the per-port one-direction inter-wafer bandwidth,
+	// split evenly across the scale-out dimensions.
 	PortBW float64
 	// PortLatency is the inter-wafer hop latency (off-wafer SerDes —
 	// orders of magnitude above on-wafer hops).
 	PortLatency float64
+	// Dims arranges the wafers in a hierarchical scale-out grid: each
+	// entry is one dimension's size (≥ 2) and the product must equal
+	// Wafers. Every boundary port gets a ring per dimension. Empty
+	// means a single dimension of all wafers — the original flat ring.
+	Dims []int
+	// FillWorkers sets the netsim fill worker-pool width (≤ 1 means
+	// sequential). Results are byte-identical at every width; large
+	// hierarchical systems fill their many independent contention
+	// domains concurrently.
+	FillWorkers int
+}
+
+// ConfigError reports which Config field failed validation and why.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("multiwafer: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the configuration, returning a *ConfigError naming
+// the offending field instead of failing deep inside topology
+// construction.
+func (c Config) Validate() error {
+	if c.Wafers < 2 {
+		return &ConfigError{Field: "Wafers", Reason: fmt.Sprintf("need ≥ 2 wafers, got %d", c.Wafers)}
+	}
+	if c.BoundaryPorts < 1 {
+		return &ConfigError{Field: "BoundaryPorts", Reason: fmt.Sprintf("need ≥ 1 boundary port, got %d", c.BoundaryPorts)}
+	}
+	if c.PortBW <= 0 {
+		return &ConfigError{Field: "PortBW", Reason: fmt.Sprintf("bandwidth %g must be positive", c.PortBW)}
+	}
+	if c.PortLatency < 0 {
+		return &ConfigError{Field: "PortLatency", Reason: fmt.Sprintf("latency %g must be non-negative", c.PortLatency)}
+	}
+	if len(c.Dims) > 0 {
+		product := 1
+		for i, d := range c.Dims {
+			if d < 2 {
+				return &ConfigError{Field: "Dims", Reason: fmt.Sprintf("dimension %d size %d must be ≥ 2", i, d)}
+			}
+			product *= d
+		}
+		if product != c.Wafers {
+			return &ConfigError{Field: "Dims", Reason: fmt.Sprintf("dimension product %d != %d wafers", product, c.Wafers)}
+		}
+	}
+	return nil
 }
 
 // DefaultConfig returns a 4-wafer Fred-D system with 18 × 128 GB/s
@@ -56,51 +120,99 @@ func DefaultConfig() Config {
 	}
 }
 
-// System is a set of FRED wafers joined by a ring of inter-wafer links
-// per boundary port (port k of wafer w connects to port k of wafer
-// w+1 mod W, both directions).
+// System is a set of FRED wafers joined, along every scale-out
+// dimension, by a ring of inter-wafer links per boundary port (along
+// dimension d, port k of wafer w connects to port k of w's +1
+// neighbour in that dimension, both directions).
 type System struct {
 	cfg    Config
+	dims   []int
+	stride []int // mixed-radix stride per dimension
 	sched  *sim.Scheduler
 	net    *netsim.Network
 	wafers []*topology.FredFabric
-	// fwd[w][k]: wafer w, port k → wafer w+1; rev is the opposite
-	// direction.
-	fwd, rev [][]netsim.LinkID
+	// fwd[d][w][k]: dimension d, wafer w, port k → w's next neighbour
+	// along d; rev is the opposite direction.
+	fwd, rev [][][]netsim.LinkID
 }
 
-// New builds a multi-wafer system on a fresh scheduler.
+// New builds a multi-wafer system on a fresh scheduler, panicking on
+// an invalid configuration (NewErr returns the error instead).
 func New(cfg Config) *System {
-	if cfg.Wafers < 2 {
-		panic(fmt.Sprintf("multiwafer: need ≥ 2 wafers, got %d", cfg.Wafers))
+	s, err := NewErr(cfg)
+	if err != nil {
+		panic(err.Error())
 	}
-	if cfg.BoundaryPorts < 1 {
-		panic("multiwafer: need ≥ 1 boundary port")
+	return s
+}
+
+// NewErr builds a multi-wafer system on a fresh scheduler, returning a
+// *ConfigError when the configuration is invalid.
+func NewErr(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	s := &System{cfg: cfg, sched: sim.NewScheduler()}
+	dims := cfg.Dims
+	if len(dims) == 0 {
+		dims = []int{cfg.Wafers} // the original flat ring
+	}
+	s := &System{cfg: cfg, dims: dims, sched: sim.NewScheduler()}
+	s.stride = make([]int, len(dims))
+	acc := 1
+	for d, size := range dims {
+		s.stride[d] = acc
+		acc *= size
+	}
 	s.net = netsim.New(s.sched)
+	if cfg.FillWorkers > 1 {
+		s.net.SetFillParallel(cfg.FillWorkers)
+	}
 	for w := 0; w < cfg.Wafers; w++ {
 		s.wafers = append(s.wafers, topology.NewFredVariant(s.net, cfg.Variant))
 	}
 	if cfg.BoundaryPorts > s.wafers[0].NPUCount() {
-		panic("multiwafer: more boundary ports than NPUs")
+		return nil, &ConfigError{Field: "BoundaryPorts", Reason: fmt.Sprintf(
+			"%d ports exceed the wafer's %d NPUs", cfg.BoundaryPorts, s.wafers[0].NPUCount())}
 	}
-	s.fwd = make([][]netsim.LinkID, cfg.Wafers)
-	s.rev = make([][]netsim.LinkID, cfg.Wafers)
-	for w := 0; w < cfg.Wafers; w++ {
-		next := (w + 1) % cfg.Wafers
-		for k := 0; k < cfg.BoundaryPorts; k++ {
-			// The inter-wafer link joins the boundary NPUs' switch
-			// ports; we model it NPU-to-NPU through dedicated links.
-			a := s.npuNode(w, k)
-			b := s.npuNode(next, k)
-			s.fwd[w] = append(s.fwd[w], s.net.AddLink(a, b, cfg.PortBW, cfg.PortLatency,
-				fmt.Sprintf("xw%d.%d->", w, k)))
-			s.rev[w] = append(s.rev[w], s.net.AddLink(b, a, cfg.PortBW, cfg.PortLatency,
-				fmt.Sprintf("xw%d.%d<-", w, k)))
+	// Each physical port's bandwidth splits across the dimensions it
+	// serves; with one dimension this is the original model verbatim
+	// (same links, names and bandwidths in the same creation order).
+	bw := cfg.PortBW / float64(len(dims))
+	s.fwd = make([][][]netsim.LinkID, len(dims))
+	s.rev = make([][][]netsim.LinkID, len(dims))
+	for d := range dims {
+		s.fwd[d] = make([][]netsim.LinkID, cfg.Wafers)
+		s.rev[d] = make([][]netsim.LinkID, cfg.Wafers)
+		for w := 0; w < cfg.Wafers; w++ {
+			next := s.neighbour(w, d)
+			for k := 0; k < cfg.BoundaryPorts; k++ {
+				// The inter-wafer link joins the boundary NPUs' switch
+				// ports; we model it NPU-to-NPU through dedicated links.
+				a := s.npuNode(w, k)
+				b := s.npuNode(next, k)
+				fwdName := fmt.Sprintf("xw%d.%d->", w, k)
+				revName := fmt.Sprintf("xw%d.%d<-", w, k)
+				if len(dims) > 1 {
+					fwdName = fmt.Sprintf("xw%d.d%d.%d->", w, d, k)
+					revName = fmt.Sprintf("xw%d.d%d.%d<-", w, d, k)
+				}
+				s.fwd[d][w] = append(s.fwd[d][w], s.net.AddLink(a, b, bw, cfg.PortLatency, fwdName))
+				s.rev[d][w] = append(s.rev[d][w], s.net.AddLink(b, a, bw, cfg.PortLatency, revName))
+			}
 		}
 	}
-	return s
+	return s, nil
+}
+
+// neighbour returns the wafer one step (+1, wrapping) along dimension
+// d from wafer w in the mixed-radix grid.
+func (s *System) neighbour(w, d int) int {
+	size, stride := s.dims[d], s.stride[d]
+	coord := (w / stride) % size
+	if coord == size-1 {
+		return w - (size-1)*stride // wrap to the ring's start
+	}
+	return w + stride
 }
 
 // npuNode returns the netsim node of boundary NPU k on wafer w.
@@ -131,6 +243,17 @@ func nodeOf(f *topology.FredFabric, npu int) netsim.NodeID {
 // Wafers returns the wafer count.
 func (s *System) Wafers() int { return s.cfg.Wafers }
 
+// Dims returns the scale-out dimension sizes (a single dimension of
+// all wafers when Config.Dims was empty).
+func (s *System) Dims() []int { return s.dims }
+
+// NPUCount returns the total NPU count across all wafers.
+func (s *System) NPUCount() int { return s.cfg.Wafers * s.wafers[0].NPUCount() }
+
+// Close releases the network's fill worker pool, if FillWorkers
+// enabled one.
+func (s *System) Close() { s.net.Close() }
+
 // Network returns the shared flow network.
 func (s *System) Network() *netsim.Network { return s.net }
 
@@ -147,22 +270,60 @@ func (s *System) allNPUs() []int {
 	return out
 }
 
-// interRing returns the pipelined bidirectional ring schedule of an
-// all-reduce across wafers on boundary port k.
-func (s *System) interRing(k int, bytes float64) collective.Schedule {
-	sched := collective.Schedule{Name: fmt.Sprintf("inter-wafer-ring[%d]", k)}
-	W := s.cfg.Wafers
-	if W <= 1 || bytes <= 0 {
-		return sched
+// ringOp distinguishes the per-dimension ring collectives of the
+// hierarchical exchange by the bytes each directed ring edge carries
+// for a payload of s over a ring of D wafers (bidirectional rings, so
+// the volume splits across the two directions):
+//
+//	reduce-scatter / all-gather: (D−1)·s/(2D)
+//	all-reduce:                2·(D−1)·s/(2D)
+type ringOp int
+
+const (
+	ringRS ringOp = iota
+	ringAR
+	ringAG
+)
+
+// ringPhase builds one pipelined phase of ring transfers along
+// dimension d on the first `ports` boundary ports, with every wafer's
+// forward and reverse edges active at once.
+func (s *System) ringPhase(d int, bytes float64, op ringOp, ports int) collective.Phase {
+	size := s.dims[d]
+	perEdge := float64(size-1) * bytes / float64(2*size)
+	if op == ringAR {
+		perEdge *= 2
 	}
-	perEdge := 2 * float64(W-1) * bytes / float64(2*W)
 	var ph collective.Phase
-	for w := 0; w < W; w++ {
-		ph = append(ph, collective.Transfer{Links: []netsim.LinkID{s.fwd[w][k]}, Bytes: perEdge})
-		ph = append(ph, collective.Transfer{Links: []netsim.LinkID{s.rev[w][k]}, Bytes: perEdge})
+	for k := 0; k < ports; k++ {
+		for w := 0; w < s.cfg.Wafers; w++ {
+			ph = append(ph, collective.Transfer{Links: []netsim.LinkID{s.fwd[d][w][k]}, Bytes: perEdge})
+			ph = append(ph, collective.Transfer{Links: []netsim.LinkID{s.rev[d][w][k]}, Bytes: perEdge})
+		}
 	}
-	sched.Phases = []collective.Phase{ph}
-	return sched
+	return ph
+}
+
+// interPhases compiles the inter-wafer all-reduce of a per-port
+// payload across the scale-out hierarchy: ring reduce-scatter down
+// dimensions 0..D−2 (each shrinking the payload by its dimension
+// size), a ring all-reduce along the last dimension, and ring
+// all-gathers back up in reverse. A single dimension degenerates to
+// exactly the original flat bidirectional ring all-reduce phase.
+func (s *System) interPhases(bytes float64, ports int) []collective.Phase {
+	D := len(s.dims)
+	phases := make([]collective.Phase, 0, 2*D-1)
+	size := bytes
+	for d := 0; d < D-1; d++ {
+		phases = append(phases, s.ringPhase(d, size, ringRS, ports))
+		size /= float64(s.dims[d])
+	}
+	phases = append(phases, s.ringPhase(D-1, size, ringAR, ports))
+	for d := D - 2; d >= 0; d-- {
+		size *= float64(s.dims[d])
+		phases = append(phases, s.ringPhase(d, size, ringAG, ports))
+	}
+	return phases
 }
 
 // GlobalAllReduce compiles the hierarchical three-step global
@@ -187,14 +348,12 @@ func (s *System) GlobalAllReduce(bytes float64) collective.Schedule {
 			}
 		}
 	}
-	// Step 2: K concurrent boundary rings across wafers.
-	var step2 collective.Phase
-	for k := 0; k < K; k++ {
-		sub := s.interRing(k, shard)
-		for _, ph := range sub.Phases {
-			step2 = append(step2, ph...)
-		}
-	}
+	// Step 2: K concurrent boundary rings across wafers — with a
+	// multi-dimensional grid, one phase per hierarchy level
+	// (reduce-scatter down, ring all-reduce on the last dimension,
+	// all-gather back up); with one dimension, the original single ring
+	// all-reduce phase.
+	inter := s.interPhases(shard, K)
 	// Step 3: per wafer, K concurrent in-network multicasts from the
 	// boundary NPUs (the "special all-gather").
 	var step3 collective.Phase
@@ -207,7 +366,10 @@ func (s *System) GlobalAllReduce(bytes float64) collective.Schedule {
 			}
 		}
 	}
-	out.Phases = []collective.Phase{step1, step2, step3}
+	out.Phases = make([]collective.Phase, 0, 2+len(inter))
+	out.Phases = append(out.Phases, step1)
+	out.Phases = append(out.Phases, inter...)
+	out.Phases = append(out.Phases, step3)
 	return out
 }
 
@@ -230,11 +392,13 @@ func (s *System) NaiveAllReduce(bytes float64) collective.Schedule {
 			step3 = append(step3, ph...)
 		}
 	}
-	var step2 collective.Phase
-	for _, ph := range s.interRing(0, bytes).Phases {
-		step2 = append(step2, ph...)
+	// The leaders carry the FULL payload through every dimension in
+	// turn — no hierarchical payload shrinking, no port parallelism.
+	out.Phases = append(out.Phases, step1)
+	for d := range s.dims {
+		out.Phases = append(out.Phases, s.ringPhase(d, bytes, ringAR, 1))
 	}
-	out.Phases = []collective.Phase{step1, step2, step3}
+	out.Phases = append(out.Phases, step3)
 	return out
 }
 

@@ -1,6 +1,7 @@
 package multiwafer
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -110,6 +111,120 @@ func TestScalesWithWaferCount(t *testing.T) {
 	}
 	if t8 <= t4 {
 		t.Fatalf("8 wafers (%g) should be slightly slower than 4 (%g)", t8, t4)
+	}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		cfg   Config
+		field string
+	}{
+		{Config{Wafers: 1, BoundaryPorts: 4, PortBW: 1e9}, "Wafers"},
+		{Config{Wafers: 2, BoundaryPorts: 0, PortBW: 1e9}, "BoundaryPorts"},
+		{Config{Wafers: 2, BoundaryPorts: 4, PortBW: 0}, "PortBW"},
+		{Config{Wafers: 2, BoundaryPorts: 4, PortBW: 1e9, PortLatency: -1}, "PortLatency"},
+		{Config{Wafers: 4, BoundaryPorts: 4, PortBW: 1e9, Dims: []int{4, 1}}, "Dims"},
+		{Config{Wafers: 4, BoundaryPorts: 4, PortBW: 1e9, Dims: []int{2, 4}}, "Dims"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("config %+v: got %v, want *ConfigError", tc.cfg, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("config %+v: error names field %q, want %q", tc.cfg, ce.Field, tc.field)
+		}
+		if _, err := NewErr(tc.cfg); err == nil {
+			t.Errorf("NewErr accepted invalid config %+v", tc.cfg)
+		}
+	}
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestHierarchicalGridShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Wafers = 8
+	cfg.Dims = []int{4, 2}
+	cfg.BoundaryPorts = 4
+	s := New(cfg)
+	if got := s.Dims(); len(got) != 2 || got[0] != 4 || got[1] != 2 {
+		t.Fatalf("dims = %v", got)
+	}
+	if s.NPUCount() != 8*s.Wafer(0).NPUCount() {
+		t.Fatalf("NPUCount = %d", s.NPUCount())
+	}
+	// Dimension 0 rings step by 1 within a group of 4; dimension 1
+	// rings step by 4. Check the wrap on both.
+	if n := s.neighbour(3, 0); n != 0 {
+		t.Fatalf("neighbour(3, dim0) = %d, want 0", n)
+	}
+	if n := s.neighbour(5, 0); n != 6 {
+		t.Fatalf("neighbour(5, dim0) = %d, want 6", n)
+	}
+	if n := s.neighbour(2, 1); n != 6 {
+		t.Fatalf("neighbour(2, dim1) = %d, want 6", n)
+	}
+	if n := s.neighbour(6, 1); n != 2 {
+		t.Fatalf("neighbour(6, dim1) = %d, want 2", n)
+	}
+	// Every dimension owns a full set of per-wafer per-port links, at
+	// the port bandwidth split across the two dimensions.
+	for d := 0; d < 2; d++ {
+		for w := 0; w < 8; w++ {
+			if len(s.fwd[d][w]) != 4 || len(s.rev[d][w]) != 4 {
+				t.Fatalf("dim %d wafer %d: %d fwd / %d rev links", d, w, len(s.fwd[d][w]), len(s.rev[d][w]))
+			}
+		}
+	}
+	l := s.Network().Link(s.fwd[1][0][0])
+	if l.Bandwidth != cfg.PortBW/2 {
+		t.Fatalf("per-dim link bandwidth = %g, want %g", l.Bandwidth, cfg.PortBW/2)
+	}
+}
+
+func TestHierarchicalAllReduceCompletes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Wafers = 8
+	cfg.Dims = []int{4, 2}
+	cfg.FillWorkers = 4
+	s := New(cfg)
+	defer s.Close()
+	sched := s.GlobalAllReduce(1e9)
+	// RS down dim 0, AR on dim 1, AG back up dim 0 → 3 inter phases
+	// between the intra-wafer steps.
+	if len(sched.Phases) != 5 {
+		t.Fatalf("phases = %d, want 5", len(sched.Phases))
+	}
+	d := s.Run(sched)
+	if d <= 0 || math.IsInf(d, 0) {
+		t.Fatalf("hierarchical all-reduce time = %g", d)
+	}
+	// The naive leader exchange still loses, and by more than on the
+	// flat ring: it repeats the full payload in every dimension.
+	sN := New(cfg)
+	defer sN.Close()
+	naive := sN.Run(sN.NaiveAllReduce(1e9))
+	if naive <= d {
+		t.Fatalf("naive (%g) not slower than hierarchical (%g)", naive, d)
+	}
+}
+
+func TestFlatDimsMatchesImplicit(t *testing.T) {
+	// Dims=[W] must be byte-identical to the original implicit flat
+	// ring: same link layout, same schedule, same simulated time.
+	cfg := DefaultConfig()
+	implicit := New(cfg)
+	tImp := implicit.Run(implicit.GlobalAllReduce(3e9))
+	cfg.Dims = []int{cfg.Wafers}
+	explicit := New(cfg)
+	tExp := explicit.Run(explicit.GlobalAllReduce(3e9))
+	if tImp != tExp {
+		t.Fatalf("explicit flat dims time %g != implicit %g", tExp, tImp)
 	}
 }
 

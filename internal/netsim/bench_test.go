@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/wafernet/fred/internal/sim"
@@ -49,8 +50,7 @@ func BenchmarkRecompute(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.fillNeeded = true
-		net.recompute()
+		net.ForceFullFill()
 	}
 }
 
@@ -88,3 +88,78 @@ func flowChurn(b *testing.B, reference bool) {
 
 func BenchmarkFlowChurn(b *testing.B)          { flowChurn(b, false) }
 func BenchmarkFlowChurnReference(b *testing.B) { flowChurn(b, true) }
+
+// groupedNet builds `groups` disjoint copies of the contendedNet
+// pattern — 16 links, flowsPer flows each crossing three of them — so
+// the network partitions into exactly `groups` independent contention
+// domains, the structure a hierarchical multi-wafer system produces by
+// construction.
+func groupedNet(tb testing.TB, groups, flowsPer int) (*sim.Scheduler, *Network, []LinkID) {
+	s := sim.NewScheduler()
+	net := New(s)
+	a, b := net.AddNode("a"), net.AddNode("b")
+	links := make([]LinkID, 16*groups)
+	for i := range links {
+		links[i] = net.AddLink(a, b, 100+float64(i%16*7), 0, "l")
+	}
+	for g := 0; g < groups; g++ {
+		base := g * 16
+		for i := 0; i < flowsPer; i++ {
+			net.StartFlow(FlowSpec{
+				Links: []LinkID{links[base+i%16], links[base+(i+5)%16], links[base+(i+11)%16]},
+				Bytes: 1e15, Latency: 0,
+			})
+		}
+	}
+	s.RunUntil(0)
+	if net.ActiveFlows() != groups*flowsPer {
+		tb.Fatalf("active = %d, want %d", net.ActiveFlows(), groups*flowsPer)
+	}
+	return s, net, links
+}
+
+// BenchmarkDomainFill measures the sharded engine on multi-domain
+// systems. dirty1 is the tentpole's payoff: localized churn (a
+// Degrade/Restore cycle on one link) refills only that link's domain,
+// so its cost must stay flat — and allocation-free — as the total
+// system grows; a global engine's cost would grow linearly with
+// groups. global forces every domain dirty for the full-system
+// baseline, and parallel4 is the same full fill on a width-4 worker
+// pool. 32 flows per 16-link group throughout.
+func BenchmarkDomainFill(b *testing.B) {
+	for _, groups := range []int{1, 4, 16} {
+		groups := groups
+		b.Run(fmt.Sprintf("dirty1/groups=%d", groups), func(b *testing.B) {
+			_, net, links := groupedNet(b, groups, 32)
+			l := net.Link(links[0])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					l.Degrade(0.5)
+				} else {
+					l.Restore()
+				}
+				net.recompute()
+			}
+		})
+		b.Run(fmt.Sprintf("global/groups=%d", groups), func(b *testing.B) {
+			_, net, _ := groupedNet(b, groups, 32)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.ForceFullFill()
+			}
+		})
+	}
+	b.Run("parallel4/groups=16", func(b *testing.B) {
+		_, net, _ := groupedNet(b, 16, 32)
+		net.SetFillParallel(4)
+		defer net.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.ForceFullFill()
+		}
+	})
+}

@@ -120,10 +120,24 @@ func makeScenario(seed int64) churnScenario {
 // run replays the scenario on a fresh network, on the reference engine
 // when reference is set, and records all observables.
 func (sc churnScenario) run(reference bool) churnRecord {
+	return sc.runWith(reference, 1)
+}
+
+// runParallel replays on the sharded engine with a width-pool fill
+// worker pool.
+func (sc churnScenario) runParallel(pool int) churnRecord {
+	return sc.runWith(false, pool)
+}
+
+func (sc churnScenario) runWith(reference bool, pool int) churnRecord {
 	s := sim.NewScheduler()
 	net := New(s)
+	defer net.Close()
 	if reference {
 		net.useReferenceEngine()
+	}
+	if pool > 1 {
+		net.SetFillParallel(pool)
 	}
 	nodes := make([]NodeID, sc.nNodes)
 	for i := range nodes {
@@ -266,10 +280,13 @@ func TestDifferentialEnginesBitIdentical(t *testing.T) {
 // TestDifferentialKeptEventTie engineers the cross-pass tie the random
 // scenarios are unlikely to hit: flow B's completion event is already
 // scheduled at t=7 when a recompute moves flow A's ETA to a bitwise-
-// equal 7. Both engines must then fire A before B — A activated first,
-// so its re-armed event must carry the earlier insertion sequence —
-// which requires the incremental engine to reschedule even events
-// whose ETA is unchanged rather than keeping their old sequence.
+// equal 7. Under the kept-ETA contract (a flow whose rate a recompute
+// leaves bitwise-unchanged keeps its armed completion — here B, whose
+// domain the t=2 recompute does not even touch), B's event holds the
+// older arming pass and fires first; A, re-armed at the later pass,
+// fires second. The sharded engine's calendar key (eta, arming pass,
+// activation seq) must reproduce exactly the reference's kept-event
+// sequence order.
 func TestDifferentialKeptEventTie(t *testing.T) {
 	run := func(reference bool) []string {
 		s := sim.NewScheduler()
@@ -297,7 +314,7 @@ func TestDifferentialKeptEventTie(t *testing.T) {
 	}
 	opt := run(false)
 	ref := run(true)
-	want := []string{"A", "B", "C"}
+	want := []string{"B", "A", "C"}
 	if len(opt) != len(want) || len(ref) != len(want) {
 		t.Fatalf("completion counts: optimized %v, reference %v, want %v", opt, ref, want)
 	}
@@ -332,8 +349,7 @@ func TestRecomputeSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatalf("active = %d, want 32", net.ActiveFlows())
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		net.fillNeeded = true // force the full filling pass
-		net.recompute()
+		net.ForceFullFill() // force the full filling pass
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state recompute allocates %v objects/op, want 0", allocs)

@@ -133,10 +133,11 @@ func (l *Link) Degrade(factor float64) {
 	if n.tracer != nil {
 		n.tracer.Instant("link", fmt.Sprintf("degrade %s ×%g", l.Name, factor), n.sched.Now())
 	}
-	// Any active flow's max-min share may change, even ones not
-	// crossing this link.
-	if len(n.active) > 0 {
-		n.fillNeeded = true
+	// Only flows in this link's contention domain can see their max-min
+	// share move; a link no active route has touched this partition
+	// version (root nil) carries no rate and needs no refill at all.
+	if r := n.domRootOf(l); r != nil {
+		n.markDomainDirty(r)
 		n.markDirty()
 	}
 }
@@ -160,8 +161,8 @@ func (l *Link) Restore() {
 	if n.tracer != nil {
 		n.tracer.Instant("link", "restore "+l.Name, n.sched.Now())
 	}
-	if len(n.active) > 0 {
-		n.fillNeeded = true
+	if r := n.domRootOf(l); r != nil {
+		n.markDomainDirty(r)
 		n.markDirty()
 	}
 }

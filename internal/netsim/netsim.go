@@ -13,14 +13,19 @@
 // activity interleaves deterministically with compute and I/O events
 // from other simulators.
 //
-// The rate engine is incremental and allocation-free in steady state:
-// progressive filling runs over epoch-stamped scratch state embedded in
-// the links (no per-recompute maps), is skipped entirely when only
-// contention-free flows churned, and each flow owns a single completion
-// event that is moved in place (sim.Scheduler.Reschedule) rather than
-// canceled and recreated. See DESIGN.md ("Incremental waterfilling
-// engine") and reference.go for the straightforward implementation the
-// engine is differentially tested against.
+// The rate engine is incremental, sharded and allocation-free in
+// steady state: finite links partition into contention domains (a
+// union-find over active flows' routes, maintained incrementally —
+// see domain.go), flow churn dirties only its own domain, and a
+// recompute refills dirty domains alone — per exact connected
+// component, over epoch-stamped scratch state embedded in the links
+// (no per-recompute maps). Independent dirty domains fill in parallel
+// on a bounded worker pool (SetFillParallel) with byte-identical
+// output at every pool width. Completions sit on a calendar drained by
+// a single proxy scheduler event, re-armed only for flows whose rate
+// actually changed. See DESIGN.md ("Sharded rate engine") and
+// reference.go for the straightforward implementation the engine is
+// differentially tested against.
 package netsim
 
 import (
@@ -74,6 +79,33 @@ type Link struct {
 	fillEpoch uint64
 	residual  float64
 	unfrozen  int
+
+	// Contention-domain partition state (domain.go), valid only while
+	// domVersion matches the network's partition version; the whole
+	// partition resets in O(1) by bumping that version. Roots
+	// additionally carry the domain's dirty flag, dedupe stamp, link
+	// list tail and flow membership list.
+	domVersion  uint64
+	domParent   *Link
+	domSize     int32
+	domDirty    bool
+	domSeen     uint64
+	domNext     *Link // next link in this domain's link list
+	domLinkHead *Link
+	domLinkTail *Link
+	domFlowHead *Flow
+	domFlowTail *Flow
+
+	// Exact-component scratch for one domain-fill pass, valid only
+	// while compEpoch (compSeen for the flow list) matches the
+	// network's fill epoch. Only ever touched by the worker filling
+	// this link's domain, so parallel domain fills never race on it.
+	compEpoch  uint64
+	compSeen   uint64
+	compParent *Link
+	compRank   int32
+	compHead   *Flow
+	compTail   *Flow
 }
 
 // BytesCarried reports the cumulative bytes this link has transferred,
@@ -183,13 +215,30 @@ type Flow struct {
 	started     sim.Time
 	finished    sim.Time
 	done        func(*Flow)
-	// complete is the flow's single completion event, created on first
-	// use and re-timed in place on every rate change; detach cancels it
-	// and a later recompute re-arms the same object.
+	// complete is the flow's per-event completion handle, used only by
+	// the reference engine (the sharded engine times completions on the
+	// calendar below instead); detach cancels it.
 	complete   *sim.Event
 	latEvent   *sim.Event
 	activeIdx  int      // index in net.active; -1 while not active
 	fillFrozen bool     // progressive-filling scratch
+	actSeq     uint64   // activation sequence (assigned per activate)
+	// Contention-domain membership (domain.go): doubly linked through
+	// the owning domain root's flow list while active with finite links.
+	domPrev *Flow
+	domNext *Flow
+	inDom   bool
+	// compNext threads the flow into its exact component's list during
+	// one domain-fill pass (scratch, valid within the pass only).
+	compNext *Flow
+	// Completion-calendar state: the armed ETA, the rate it was derived
+	// from (rates are compared bitwise; an unchanged rate keeps the
+	// armed ETA), the arming pass and the heap slot (-1 while absent).
+	eta      sim.Time
+	etaRate  float64
+	etaPass  uint64
+	etaValid bool
+	calIdx   int
 	stageStart sim.Time // start of the current lifecycle stage (tracing)
 	lastRate   float64  // last rate sample emitted to the tracer
 	reroute    func(attempt int) ([]LinkID, bool)
@@ -293,20 +342,47 @@ type Network struct {
 	// hook (see reference.go).
 	recomputeFn func()
 
-	// Incremental-filling bookkeeping: fillNeeded is set whenever a
-	// flow with at least one finite link attaches or detaches — only
-	// then can any max-min rate change. Contention-free flows (all
-	// links infinite) instead queue on freePending and are frozen at
-	// +Inf without a filling pass.
-	fillNeeded  bool
+	// Contention-domain partition (domain.go): flow churn on finite
+	// links dirties only the affected domain, and a recompute fills
+	// dirty domains alone. Contention-free flows (all links infinite)
+	// instead queue on freePending and are frozen at +Inf without a
+	// filling pass. partVersion stamps link partition state (bumped to
+	// reset the partition in O(1) whenever partActive — active flows
+	// with finite links — drains to zero), dirtyRoots queues dirty
+	// domain roots, allDirty is the ForceFullFill escape hatch, and
+	// seenEpoch dedupes roots during collection.
+	partVersion uint64
+	partActive  int
+	actSeqNext  uint64
+	dirtyRoots  []*Link
+	allDirty    bool
+	seenEpoch   uint64
 	freePending []*Flow
 
+	// Dirty-domain work list of the in-flight recompute, and the
+	// per-worker fill scratch (SetFillParallel sizes it; width 1 — no
+	// pool — by default). fillDomainFn caches the method value so the
+	// pool dispatch allocates nothing.
+	procRoots    []*Link
+	procStats    []domainFillResult
+	fillPool     *sim.Pool
+	fillScratch  []*fillScratch
+	fillDomainFn func(worker, job int)
+	stats        FillStats
+
+	// Completion calendar (domain.go): active flows' armed completions
+	// in an indexed min-heap ordered by (eta, arming pass, activation
+	// seq), drained by the single proxy scheduler event. armPass counts
+	// recomputes for the calendar key.
+	cal     []*Flow
+	proxy   *sim.Event
+	armPass uint64
+
 	// Reusable scratch (the allocation-free core): fillEpoch stamps
-	// per-link scratch validity, touched lists the finite links seen by
-	// the current pass, rateSum accumulates per-link rates for
-	// telemetry.
+	// per-link scratch validity, rateSum holds the per-link flow-rate
+	// sums, maintained by domain fills (zeroed and re-accumulated for a
+	// dirty domain's links only) and read by telemetry and tracing.
 	fillEpoch uint64
-	touched   []*Link
 	rateSum   []float64
 
 	flowSeq   uint64
@@ -347,8 +423,10 @@ type Network struct {
 
 // New creates an empty network driven by the given scheduler.
 func New(s *sim.Scheduler) *Network {
-	n := &Network{sched: s, retry: DefaultRetryPolicy()}
+	n := &Network{sched: s, retry: DefaultRetryPolicy(), partVersion: 1}
 	n.recomputeFn = n.recompute
+	n.fillScratch = []*fillScratch{{}}
+	n.fillDomainFn = n.fillDomain
 	n.SetName("")
 	return n
 }
@@ -532,6 +610,7 @@ func (n *Network) StartFlow(spec FlowSpec) *Flow {
 		stageStart: n.sched.Now(),
 		state:      FlowLatency,
 		activeIdx:  -1,
+		calIdx:     -1,
 		critParent: spec.CritParent,
 	}
 	n.flowSeq++
@@ -673,13 +752,18 @@ func (n *Network) activate(f *Flow) {
 	f.state = FlowActive
 	f.activeIdx = len(n.active)
 	n.active = append(n.active, f)
+	f.actSeq = n.actSeqNext
+	n.actSeqNext++
+	f.etaValid = false
 	if len(f.finiteLinks) == 0 {
 		// Contention-free: its +Inf rate cannot perturb any max-min
 		// share, so the next recompute freezes it without a filling
 		// pass.
 		n.freePending = append(n.freePending, f)
 	} else {
-		n.fillNeeded = true
+		// Join the contention partition: the route's finite links union
+		// into one domain, which the arrival dirties.
+		n.domAttach(f)
 	}
 	n.markDirty()
 }
@@ -763,10 +847,12 @@ func (n *Network) detach(f *Flow) {
 			n.active[j].activeIdx = j
 		}
 		f.activeIdx = -1
-		if len(f.finiteLinks) > 0 {
-			n.fillNeeded = true
-		}
+		// Leaving the partition dirties the flow's domain: the
+		// survivors' shares change.
+		n.domDetach(f)
 	}
+	n.calRemove(f)
+	f.etaValid = false
 	if f.complete != nil {
 		n.sched.Cancel(f.complete)
 	}
@@ -867,190 +953,97 @@ func (n *Network) markDirty() {
 }
 
 // recompute reacts to a change in the active-flow set: it settles byte
-// counters, refreshes max-min rates, and re-times completion events.
+// counters, refills the dirty contention domains' max-min rates, and
+// re-times the refilled flows' completions on the calendar.
 //
-// The filling pass only runs when a flow with finite links attached or
-// detached since the last pass — nothing else can change any rate.
+// Only domains dirtied since the last pass are filled — churn
+// elsewhere cannot move their rates, so clean domains are skipped
+// wholesale, flows keeping their rates, armed ETAs and calendar keys.
 // Pure contention-free churn (flows whose every link has infinite
-// bandwidth) freezes the new arrivals at +Inf directly. Completion
-// events are then re-timed in place with a fresh insertion sequence —
-// unconditionally, even when the new ETA is bit-identical to the
-// scheduled one — reproducing exactly the (time, seq) order the
-// previous cancel-everything-and-reschedule implementation produced.
-// A completion that still fires for a flow no longer active
-// (stale by construction only if a future edit breaks the cancel
-// bookkeeping) is discarded at fire time.
+// bandwidth) dirties no domain at all and just freezes the arrivals at
+// +Inf. Dirty domains fill independently — in parallel when a pool is
+// configured — and the merge back into shared state (stats, completion
+// arming in deterministic domain order, the proxy re-arm) is
+// sequential, so results are byte-identical at every pool width.
 func (n *Network) recompute() {
 	n.dirty = false
 	n.settle()
+	n.stats.Recomputes++
+	n.armPass++
 
-	if n.fillNeeded {
-		n.runFill()
-		n.fillNeeded = false
-	} else {
-		for _, f := range n.freePending {
-			if f.state == FlowActive && len(f.finiteLinks) == 0 {
-				f.rate = math.Inf(1)
+	n.collectDirtyDomains()
+	now := n.sched.Now()
+	if len(n.procRoots) > 0 {
+		n.stats.FillPasses++
+		n.fillEpoch++
+		n.ensureRateSum()
+		for len(n.procStats) < len(n.procRoots) {
+			n.procStats = append(n.procStats, domainFillResult{})
+		}
+		if n.fillPool != nil && len(n.procRoots) > 1 {
+			n.fillPool.Run(len(n.procRoots), n.fillDomainFn)
+		} else {
+			for j := range n.procRoots {
+				n.fillDomain(0, j)
+			}
+		}
+		// Sequential merge, in deterministic (collection-order) domain
+		// order: work counters, then completion re-arming for the
+		// refilled flows. Flows whose rate came out bit-identical keep
+		// their armed ETA and calendar key (see armFlow).
+		for j := range n.procRoots {
+			r := n.procStats[j]
+			n.stats.DomainsFilled++
+			n.stats.ComponentsFilled += uint64(r.components)
+			n.stats.FlowsFilled += uint64(r.flows)
+		}
+		for _, root := range n.procRoots {
+			for f := root.domFlowHead; f != nil; f = f.domNext {
+				n.armFlow(f, now)
 			}
 		}
 	}
-	for i := range n.freePending {
+
+	for i, f := range n.freePending {
+		if f.state == FlowActive && len(f.finiteLinks) == 0 {
+			f.rate = math.Inf(1)
+			n.armFlow(f, now)
+		}
 		n.freePending[i] = nil // release flow references for GC
 	}
 	n.freePending = n.freePending[:0]
 
-	now := n.sched.Now()
-	for _, f := range n.active {
-		if f.rate <= 0 {
-			// Starved flow (can only happen transiently); it will be
-			// re-timed on the next recompute.
-			if f.complete != nil {
-				n.sched.Cancel(f.complete)
-			}
-			continue
-		}
-		var eta sim.Time
-		if math.IsInf(f.rate, 1) {
-			eta = now
-		} else {
-			eta = now + f.remaining/f.rate
-		}
-		if e := f.complete; e == nil {
-			g := f
-			f.complete = n.sched.At(eta, func() {
-				if g.state != FlowActive {
-					return // stale completion: flow left the active set
-				}
-				n.finish(g)
-			})
-		} else {
-			// Always re-arm, even when the ETA is unchanged: Reschedule
-			// consumes a fresh insertion sequence in activation order,
-			// which is what breaks same-time ties exactly as the
-			// reference cancel-and-recreate engine does. Skipping
-			// bit-identical ETAs would keep a stale sequence and could
-			// fire a kept event ahead of a later-activated flow whose
-			// new ETA ties with it. heap.Fix on an unchanged key is
-			// cheap, so this stays allocation-free.
-			n.sched.Reschedule(e, eta)
-		}
+	// The last finite-link flow left: reset the whole partition in
+	// O(1). Runs after the fill so departing domains' telemetry sums
+	// were zeroed through their (still-valid) link lists above.
+	if n.partActive == 0 {
+		n.partVersion++
 	}
 
+	n.armProxy()
+
 	if n.tracer != nil || n.telemetry || n.metrics != nil {
-		n.observeRates(now)
+		n.observeRates(now, false)
 	}
 }
 
-// runFill is one progressive-filling pass: raise all unfrozen flows'
-// rates together; whenever a link saturates, freeze its flows at the
-// current rate. All scratch state lives in the links (epoch-stamped
-// residual/unfrozen) and flows (fillFrozen), and the touched-link list
-// is reused across passes, so a pass performs no allocation. The
-// arithmetic — delta selection, rate accumulation in activation order,
-// residual updates — is operation-for-operation identical to
-// referenceRecompute, keeping rates bit-exact.
-func (n *Network) runFill() {
-	n.fillEpoch++
-	epoch := n.fillEpoch
-	touched := n.touched[:0]
-	unfrozenCount := 0
-	for _, f := range n.active {
-		f.rate = 0
-		if len(f.finiteLinks) == 0 {
-			// Contention-free flow: every link it crosses has infinite
-			// bandwidth, so no saturation event can ever freeze it.
-			// Freeze it at infinite rate upfront instead of letting it
-			// linger unfrozen through the filling loop.
-			f.rate = math.Inf(1)
-			f.fillFrozen = true
-			continue
-		}
-		f.fillFrozen = false
-		for _, l := range f.finiteLinks {
-			if l.fillEpoch != epoch {
-				l.fillEpoch = epoch
-				l.residual = l.Bandwidth
-				l.unfrozen = 0
-				touched = append(touched, l)
-			}
-			l.unfrozen++
-		}
-		unfrozenCount++
+// ensureRateSum grows the per-link rate-sum slice to cover every
+// registered link, preserving maintained sums (new links start at 0).
+func (n *Network) ensureRateSum() {
+	for len(n.rateSum) < len(n.links) {
+		n.rateSum = append(n.rateSum, 0)
 	}
-	for unfrozenCount > 0 {
-		delta := math.Inf(1)
-		for _, l := range touched {
-			if l.unfrozen == 0 {
-				continue
-			}
-			if d := l.residual / float64(l.unfrozen); d < delta {
-				delta = d
-			}
-		}
-		if math.IsInf(delta, 1) {
-			// Unreachable while the upfront freeze above holds (every
-			// unfrozen flow keeps at least one finite link with an
-			// unfrozen count > 0), but guard so a future edit cannot
-			// turn this loop into a spin.
-			for _, f := range n.active {
-				if !f.fillFrozen {
-					f.rate = math.Inf(1)
-					f.fillFrozen = true
-					unfrozenCount--
-				}
-			}
-			break
-		}
-		for _, f := range n.active {
-			if !f.fillFrozen {
-				f.rate += delta
-			}
-		}
-		for _, l := range touched {
-			if l.unfrozen > 0 {
-				l.residual -= delta * float64(l.unfrozen)
-			}
-		}
-		// Freeze flows crossing any saturated link.
-		for _, f := range n.active {
-			if f.fillFrozen {
-				continue
-			}
-			for _, l := range f.finiteLinks {
-				if l.residual <= rateEpsilon*l.Bandwidth {
-					f.fillFrozen = true
-					unfrozenCount--
-					if n.crit != nil {
-						// The saturated link that freezes the flow is its
-						// binding constraint in the bottleneck ordering.
-						f.bindLink = l
-					}
-					break
-				}
-			}
-		}
-		for _, l := range touched {
-			l.unfrozen = 0
-		}
-		for _, f := range n.active {
-			if f.fillFrozen {
-				continue
-			}
-			for _, l := range f.finiteLinks {
-				l.unfrozen++
-			}
-		}
-	}
-	n.touched = touched
 }
 
 // observeRates runs after every rate recomputation when telemetry or
 // tracing is on: it updates per-link peak utilization and emits
-// changed link-utilization and flow-rate samples to the tracer. Rates
-// are accumulated per link by iterating the active slice in activation
-// order — exactly the order the per-link flow lists (since removed)
-// were maintained in, so the float sums are unchanged bit-for-bit.
-func (n *Network) observeRates(now sim.Time) {
+// changed link-utilization and flow-rate samples to the tracer. The
+// per-link rate sums are maintained incrementally by the domain fills
+// (a dirty domain zeroes and re-accumulates its own links' sums in
+// activation order — the same order a full pass uses, so the floats
+// match bit-for-bit); the reference engine instead passes full=true to
+// rebuild every sum from the active slice from scratch.
+func (n *Network) observeRates(now sim.Time, full bool) {
 	if n.lastUtil == nil {
 		n.lastUtil = make([]float64, len(n.links))
 	}
@@ -1063,16 +1056,16 @@ func (n *Network) observeRates(now sim.Time) {
 		// histograms before overwriting it with the fresh rates.
 		n.accumUtil(now)
 	}
-	if cap(n.rateSum) < len(n.links) {
-		n.rateSum = make([]float64, len(n.links))
-	}
-	rateSum := n.rateSum[:len(n.links)]
-	for i := range rateSum {
-		rateSum[i] = 0
-	}
-	for _, f := range n.active {
-		for _, l := range f.finiteLinks {
-			rateSum[l.ID] += f.rate
+	n.ensureRateSum()
+	rateSum := n.rateSum
+	if full {
+		for i := range rateSum {
+			rateSum[i] = 0
+		}
+		for _, f := range n.active {
+			for _, l := range f.finiteLinks {
+				rateSum[l.ID] += f.rate
+			}
 		}
 	}
 	for _, l := range n.links {

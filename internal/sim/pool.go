@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Pool is a bounded pool of persistent worker goroutines for fanning a
+// batch of independent jobs out across cores between simulation events.
+// It exists for the network simulator's domain-sharded filling pass:
+// dirty contention domains are independent by construction, so their
+// fills can run concurrently as long as every write stays domain-local
+// and the merge back into shared state happens sequentially afterwards.
+//
+// Run dispatches jobs by atomic counter, so the assignment of jobs to
+// workers is racy by design — correctness must come from the jobs
+// writing only job-local state. Each job receives the worker slot it
+// runs on (0..Workers()-1) so callers can hand out per-worker scratch
+// and stay allocation-free. Worker 0 is the calling goroutine: a
+// one-worker pool degenerates to a plain loop with no synchronization
+// and no goroutines at all.
+type Pool struct {
+	workers int
+	fn      func(worker, job int)
+	jobs    int64
+	next    atomic.Int64
+	start   []chan struct{} // one per helper goroutine (workers 1..n-1)
+	done    chan struct{}
+	closed  bool
+}
+
+// NewPool creates a pool of n workers (n ≥ 1). n-1 helper goroutines
+// are spawned immediately and persist until Close; worker 0 runs on the
+// goroutine that calls Run.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: pool size %d must be ≥ 1", n))
+	}
+	p := &Pool{workers: n, done: make(chan struct{}, n)}
+	for w := 1; w < n; w++ {
+		ch := make(chan struct{}, 1)
+		p.start = append(p.start, ch)
+		go p.worker(w, ch)
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) worker(slot int, start <-chan struct{}) {
+	for range start {
+		p.drain(slot)
+		p.done <- struct{}{}
+	}
+}
+
+// drain claims jobs off the shared counter until none remain.
+func (p *Pool) drain(slot int) {
+	for {
+		j := p.next.Add(1) - 1
+		if j >= p.jobs {
+			return
+		}
+		p.fn(slot, int(j))
+	}
+}
+
+// Run executes fn(worker, job) for every job in [0, jobs), blocking
+// until all complete. Jobs are claimed dynamically, so slow jobs do not
+// stall workers with spare capacity. Run itself performs no allocation.
+// It must not be called concurrently with itself, and fn must confine
+// its writes to per-job (or per-worker) state.
+func (p *Pool) Run(jobs int, fn func(worker, job int)) {
+	if p.closed {
+		panic("sim: Run on closed pool")
+	}
+	if jobs <= 0 {
+		return
+	}
+	if p.workers == 1 || jobs == 1 {
+		for j := 0; j < jobs; j++ {
+			fn(0, j)
+		}
+		return
+	}
+	p.fn = fn
+	p.jobs = int64(jobs)
+	p.next.Store(0)
+	for _, ch := range p.start {
+		ch <- struct{}{}
+	}
+	p.drain(0)
+	for range p.start {
+		<-p.done
+	}
+	p.fn = nil
+}
+
+// Close shuts the helper goroutines down. The pool must not be used
+// afterwards; Close is idempotent.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.start {
+		close(ch)
+	}
+}
