@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes: the CLI error conventions — unknown flag or wrong
+// argument count exit 2 with usage on stderr; unreadable input exits 1.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		code      int
+		stderrHas string
+	}{
+		{"no arguments", nil, 2, "usage: fredreport"},
+		{"one artifact only", []string{"ref.json"}, 2, "usage: fredreport"},
+		{"unknown flag", []string{"-bogus", "a.json", "b.json"}, 2, "flag provided but not defined"},
+		{"frombench with trailing artifact", []string{"-frombench", "bench.txt", "extra.json"}, 2,
+			`unexpected argument "extra.json"`},
+		{"missing reference artifact", []string{"no-such-ref.json", "no-such-cand.json"}, 1, "no-such-ref.json"},
+		{"missing bench input", []string{"-frombench", "no-such-bench.txt"}, 1, "no-such-bench.txt"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.code, stderr.String())
+			}
+			if tc.code == 2 && !strings.Contains(stderr.String(), "usage: fredreport") {
+				t.Errorf("exit 2 without usage on stderr: %q", stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.stderrHas) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.stderrHas)
+			}
+		})
+	}
+}

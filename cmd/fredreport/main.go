@@ -39,30 +39,47 @@ import (
 )
 
 func main() {
-	threshold := flag.Float64("threshold", 0.10, "relative tolerance for series without their own")
-	csv := flag.Bool("csv", false, "emit the delta table as CSV")
-	fromBench := flag.String("frombench", "", "convert `go test -bench` output from this file (- for stdin) to a metrics artifact")
-	out := flag.String("o", "", "output path for -frombench (default stdout)")
-	flag.Usage = usage
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver with the process boundary injected. Exit
+// conventions (shared by every fred binary): 0 clean, 1 a comparison
+// that found regressions or unreadable input, 2 bad usage — unknown
+// flag or wrong arguments, always with usage on stderr.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fredreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() { usage(stderr) }
+	threshold := fs.Float64("threshold", 0.10, "relative tolerance for series without their own")
+	csv := fs.Bool("csv", false, "emit the delta table as CSV")
+	fromBench := fs.String("frombench", "", "convert `go test -bench` output from this file (- for stdin) to a metrics artifact")
+	out := fs.String("o", "", "output path for -frombench (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *fromBench != "" {
-		if err := convert(*fromBench, *out); err != nil {
-			fmt.Fprintln(os.Stderr, "fredreport:", err)
-			os.Exit(1)
+		if fs.NArg() != 0 {
+			fmt.Fprintf(stderr, "fredreport: unexpected argument %q\n", fs.Arg(0))
+			usage(stderr)
+			return 2
 		}
-		return
+		if err := convert(*fromBench, *out, stdout, stderr); err != nil {
+			fmt.Fprintln(stderr, "fredreport:", err)
+			return 1
+		}
+		return 0
 	}
-	if flag.NArg() != 2 {
-		usage()
-		os.Exit(2)
+	if fs.NArg() != 2 {
+		usage(stderr)
+		return 2
 	}
-	code, err := compare(flag.Arg(0), flag.Arg(1), *threshold, *csv, os.Stdout)
+	code, err := compare(fs.Arg(0), fs.Arg(1), *threshold, *csv, stdout)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fredreport:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "fredreport:", err)
+		return 1
 	}
-	os.Exit(code)
+	return code
 }
 
 // compare renders the delta table of two artifact files to w and
@@ -147,7 +164,7 @@ var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) n
 
 // convert parses benchmark output and writes the equivalent metrics
 // artifact.
-func convert(benchPath, outPath string) error {
+func convert(benchPath, outPath string, stdout, stderr io.Writer) error {
 	var in io.Reader
 	if benchPath == "-" {
 		in = os.Stdin
@@ -172,13 +189,13 @@ func convert(benchPath, outPath string) error {
 		if err != nil {
 			return err
 		}
-		_, err = os.Stdout.Write(data)
+		_, err = stdout.Write(data)
 		return err
 	}
 	if err := art.WriteFile(outPath); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "fredreport: converted %d benchmarks to %s\n", n, outPath)
+	fmt.Fprintf(stderr, "fredreport: converted %d benchmarks to %s\n", n, outPath)
 	return nil
 }
 
@@ -218,7 +235,7 @@ func parseBench(in io.Reader) (*metrics.Registry, int, error) {
 	return reg, n, sc.Err()
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fredreport [-threshold 0.10] [-csv] reference.json candidate.json
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: fredreport [-threshold 0.10] [-csv] reference.json candidate.json
        fredreport -frombench bench.txt [-o out.json]`)
 }

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -31,18 +32,41 @@ import (
 )
 
 func main() {
-	m := flag.Int("m", 2, "middle-stage subnetworks (colors)")
-	p := flag.Int("p", 8, "switch port count")
-	dotPath := flag.String("dot", "", "write a Graphviz rendering of the routed switch to this file")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	flows, err := parseFlows(flag.Args())
+// run is the whole driver with the process boundary injected. Exit
+// conventions (shared by every fred binary): 0 success, 1 a routing
+// conflict or verification failure, 2 bad usage — unknown flag or
+// malformed flow syntax, always with usage on stderr.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fredroute", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, `usage: fredroute [-m 3] [-p 8] [-dot out.dot] [flow ...]
+flows: allreduce:3,4,5  reduce:1,2>5  multicast:0>4,5  unicast:0>7`)
+		fs.PrintDefaults()
+	}
+	m := fs.Int("m", 2, "middle-stage subnetworks (colors)")
+	p := fs.Int("p", 8, "switch port count")
+	dotPath := fs.String("dot", "", "write a Graphviz rendering of the routed switch to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *m < 2 {
+		fmt.Fprintf(stderr, "fredroute: -m %d out of range (need ≥ 2 middle-stage subnetworks)\n", *m)
+		fs.Usage()
+		return 2
+	}
+
+	flows, err := parseFlows(fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fredroute:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "fredroute:", err)
+		fs.Usage()
+		return 2
 	}
 	if len(flows) == 0 {
-		fmt.Println("routing the Figure 7(h) example: two all-reduces on Fred_2(8)")
+		fmt.Fprintln(stdout, "routing the Figure 7(h) example: two all-reduces on Fred_2(8)")
 		flows = []fredapi.Flow{
 			fredapi.AllReduce([]int{0, 1, 2}),
 			fredapi.AllReduce([]int{3, 4, 5}),
@@ -50,36 +74,37 @@ func main() {
 	}
 
 	sw := fredapi.NewSwitch(*m, *p)
-	fmt.Printf("Fred_%d(%d): %d µswitch elements\n\n", *m, *p, sw.MicroSwitches())
+	fmt.Fprintf(stdout, "Fred_%d(%d): %d µswitch elements\n\n", *m, *p, sw.MicroSwitches())
 	for i, f := range flows {
-		fmt.Printf("flow %d: %v\n", i, f)
+		fmt.Fprintf(stdout, "flow %d: %v\n", i, f)
 	}
 	plan, err := sw.Route(flows)
 	if err != nil {
 		var conflict *fredapi.ConflictError
 		if errors.As(err, &conflict) {
-			fmt.Printf("\nROUTING CONFLICT: %v\n", conflict)
-			fmt.Println("options (Section 5.3): block a flow, raise -m, decompose to unicast, or re-place devices")
-			os.Exit(1)
+			fmt.Fprintf(stdout, "\nROUTING CONFLICT: %v\n", conflict)
+			fmt.Fprintln(stdout, "options (Section 5.3): block a flow, raise -m, decompose to unicast, or re-place devices")
+			return 1
 		}
-		fmt.Fprintln(os.Stderr, "fredroute:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "fredroute:", err)
+		return 1
 	}
-	fmt.Printf("\nrouted: %d reductions, %d distributions active\n\n",
+	fmt.Fprintf(stdout, "\nrouted: %d reductions, %d distributions active\n\n",
 		plan.ActiveReductions(), plan.ActiveDistributions())
-	fmt.Print(plan)
+	fmt.Fprint(stdout, plan)
 	if *dotPath != "" {
 		if err := writeDOT(*dotPath, sw, plan); err != nil {
-			fmt.Fprintln(os.Stderr, "fredroute:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "fredroute:", err)
+			return 1
 		}
-		fmt.Printf("\nwrote %s\n", *dotPath)
+		fmt.Fprintf(stdout, "\nwrote %s\n", *dotPath)
 	}
 	if err := plan.Verify(); err != nil {
-		fmt.Fprintln(os.Stderr, "\ndata-plane verification FAILED:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "\ndata-plane verification FAILED:", err)
+		return 1
 	}
-	fmt.Println("\ndata-plane verification: every output port receives the reduction of exactly its flow's inputs ✓")
+	fmt.Fprintln(stdout, "\ndata-plane verification: every output port receives the reduction of exactly its flow's inputs ✓")
+	return 0
 }
 
 func parseFlows(args []string) ([]fredapi.Flow, error) {

@@ -66,22 +66,37 @@
 //	                  / idle, dominant segments with binding links);
 //	                  summarize it with fredtrace -critpath.
 //	                  Byte-identical at every -parallel N.
+//	-timeseries f     write a versioned fred-timeseries artifact: the
+//	                  flight recorder's sampled load series (event-heap
+//	                  depth, active flows, fill work, delivered bytes,
+//	                  link utilization, cumulative critpath blame) per
+//	                  simulation; summarize it with fredtrace
+//	                  -timeseries. Byte-identical at every -parallel N.
+//	-progress         live self-overwriting status line on stderr:
+//	                  cells done/total, elapsed wall time, ETA
+//	-debug-addr a     serve a debug HTTP endpoint on a (host:port):
+//	                  /progress JSON, /progress/stream SSE,
+//	                  /debug/vars expvar, /debug/pprof
 //	-cpuprofile f     write a runtime/pprof CPU profile of the
 //	                  simulator process itself
+//	-memprofile f     write an end-of-run heap (allocs) profile
+//	-mutexprofile f   write an end-of-run mutex-contention profile
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"runtime/pprof"
 	"strings"
 
 	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/experiments"
 	"github.com/wafernet/fred/internal/metrics"
+	"github.com/wafernet/fred/internal/obs"
 	"github.com/wafernet/fred/internal/parallelism"
 	"github.com/wafernet/fred/internal/report"
+	"github.com/wafernet/fred/internal/timeseries"
 	"github.com/wafernet/fred/internal/trace"
 )
 
@@ -96,11 +111,19 @@ var studyNames = []string{
 }
 
 func main() {
-	flag.Usage = usage
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver with the process boundary injected: argv
+// without the program name, the two output streams, and the exit code
+// as the return value. Exit conventions (shared by every fred binary):
+// 0 success, 1 a run that started but failed, 2 bad usage — unknown
+// flag, unknown experiment, or missing argument, always with usage on
+// stderr.
+func run(args []string, stdout, stderr io.Writer) int {
 	// The experiment is named positionally (fredsim faults ...) or with
 	// the -study alias (fredsim -study faults ...); either way the
 	// remaining arguments go to the per-experiment flag set.
-	args := os.Args[1:]
 	cmd := ""
 	switch {
 	case len(args) >= 1 && strings.HasPrefix(args[0], "-study="):
@@ -114,10 +137,9 @@ func main() {
 		args = args[1:]
 	}
 	if cmd == "" {
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
-	rest := args
 	includeAB := false
 	csv := false
 	parallel := 0
@@ -125,9 +147,16 @@ func main() {
 	linkStats := false
 	metricsPath := ""
 	critPathOut := ""
+	tsPath := ""
+	progress := false
+	debugAddr := ""
 	cpuProfile := ""
+	memProfile := ""
+	mutexProfile := ""
 	noSchedCache := false
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() { usage(stderr) }
 	fs.BoolVar(&includeAB, "ab", false, "include Fred-A and Fred-B in fig10")
 	fs.BoolVar(&csv, "csv", false, "emit CSV instead of aligned tables")
 	fs.IntVar(&parallel, "parallel", 0, "worker-pool size for independent cells (0 = GOMAXPROCS, 1 = sequential)")
@@ -135,10 +164,20 @@ func main() {
 	fs.BoolVar(&linkStats, "linkstats", false, "report top-10 link hotspots per training run")
 	fs.StringVar(&metricsPath, "metrics", "", "write a fred-metrics JSON artifact (manifest + all series) to this file")
 	fs.StringVar(&critPathOut, "critpath", "", "write a fred-critpath JSON artifact (per-iteration blame decomposition) to this file")
+	fs.StringVar(&tsPath, "timeseries", "", "write a fred-timeseries JSON artifact (flight-recorder load series per simulation) to this file")
+	fs.BoolVar(&progress, "progress", false, "show a live status line (cells done/total, elapsed, ETA) on stderr")
+	fs.StringVar(&debugAddr, "debug-addr", "", "serve the debug HTTP endpoint (/progress, /progress/stream, /debug/vars, /debug/pprof) on this host:port")
 	fs.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile of the simulator to this file")
+	fs.StringVar(&memProfile, "memprofile", "", "write an end-of-run heap profile to this file")
+	fs.StringVar(&mutexProfile, "mutexprofile", "", "write an end-of-run mutex-contention profile to this file")
 	fs.BoolVar(&noSchedCache, "noschedcache", false, "disable the cross-cell compiled-schedule cache (results are byte-identical either way)")
-	if err := fs.Parse(rest); err != nil {
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "fredsim: unexpected argument %q\n\n", fs.Arg(0))
+		usage(stderr)
+		return 2
 	}
 
 	session := experiments.NewSession()
@@ -161,31 +200,43 @@ func main() {
 	if critPathOut != "" {
 		session.CollectCritPath(true)
 	}
-	if cpuProfile != "" {
-		f, err := os.Create(cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fredsim:", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "fredsim:", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	if tsPath != "" {
+		session.CollectTimeseries(true)
 	}
+	var status *obs.StatusLine
+	if progress || debugAddr != "" {
+		engine := obs.NewEngine(nil)
+		session.SetProgress(engine)
+		if progress {
+			status = obs.NewStatusLine(stderr, "fredsim")
+			engine.OnUpdate(status.Update)
+		}
+		if debugAddr != "" {
+			if _, err := obs.StartServer(debugAddr, engine, stderr); err != nil {
+				fmt.Fprintln(stderr, "fredsim:", err)
+				return 1
+			}
+		}
+	}
+	stopProfiles, err := report.StartProfiles(cpuProfile, memProfile, mutexProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, "fredsim:", err)
+		return 1
+	}
+	defer stopProfiles()
 
 	emit := func(tbls ...*report.Table) {
 		for _, t := range tbls {
 			if csv {
-				fmt.Print(t.CSV())
-				fmt.Println()
+				fmt.Fprint(stdout, t.CSV())
+				fmt.Fprintln(stdout)
 			} else {
-				fmt.Println(t)
+				fmt.Fprintln(stdout, t)
 			}
 		}
 	}
 
-	run := func(name string) bool {
+	runStudy := func(name string) bool {
 		switch name {
 		case "fig1":
 			emit(experiments.Figure1(parallelism.Strategy{MP: 4, DP: 3, PP: 2}))
@@ -267,15 +318,18 @@ func main() {
 			"hw", "fig1", "meshio", "placement", "nonaligned", "fig2", "fig9",
 			"fig10", "fig11a", "fig11b", "scaling", "scaleout", "inference", "crossover", "batch", "profile", "packets", "heat", "ablations", "ep", "faults", "summary",
 		} {
-			if !run(name) {
+			if !runStudy(name) {
 				panic("internal: unknown experiment " + name)
 			}
 		}
-	} else if !run(cmd) {
-		fmt.Fprintf(os.Stderr, "fredsim: unknown experiment %q (valid: %s)\n\n",
+	} else if !runStudy(cmd) {
+		fmt.Fprintf(stderr, "fredsim: unknown experiment %q (valid: %s)\n\n",
 			cmd, strings.Join(studyNames, " "))
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
+	}
+	if status != nil {
+		status.Done()
 	}
 
 	// A panicking or failing cell no longer kills the run: forEach
@@ -283,7 +337,7 @@ func main() {
 	// surfaces here as a non-zero exit.
 	exitCode := 0
 	if err := session.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "fredsim:", err)
+		fmt.Fprintln(stderr, "fredsim:", err)
 		exitCode = 1
 	}
 
@@ -303,10 +357,10 @@ func main() {
 			Command: command,
 		})
 		if err := art.WriteFile(metricsPath); err != nil {
-			fmt.Fprintln(os.Stderr, "fredsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "fredsim:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "fredsim: wrote %d metric series to %s\n",
+		fmt.Fprintf(stderr, "fredsim: wrote %d metric series to %s\n",
 			len(art.Series), metricsPath)
 	}
 	if critPathOut != "" {
@@ -315,30 +369,41 @@ func main() {
 			Command: command,
 		}, session.CritPathCells())
 		if err := art.WriteFile(critPathOut); err != nil {
-			fmt.Fprintln(os.Stderr, "fredsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "fredsim:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "fredsim: wrote %d critical-path iterations to %s\n",
+		fmt.Fprintf(stderr, "fredsim: wrote %d critical-path iterations to %s\n",
 			len(art.Cells), critPathOut)
+	}
+	if tsPath != "" {
+		art := timeseries.Export(metrics.Manifest{
+			Tool:    "fredsim",
+			Command: command,
+		}, session.TimeseriesCells())
+		if err := art.WriteFile(tsPath); err != nil {
+			fmt.Fprintln(stderr, "fredsim:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "fredsim: wrote %d flight-recorder cells to %s\n",
+			len(art.Cells), tsPath)
 	}
 	if rec != nil {
 		if err := rec.WriteFile(tracePath); err != nil {
-			fmt.Fprintln(os.Stderr, "fredsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "fredsim:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "fredsim: wrote %d trace events (%d spans) to %s\n",
+		fmt.Fprintf(stderr, "fredsim: wrote %d trace events (%d spans) to %s\n",
 			rec.Len(), rec.Spans(), tracePath)
 	}
-	if exitCode != 0 {
-		pprof.StopCPUProfile() // os.Exit skips the deferred stop
-		os.Exit(exitCode)
-	}
+	return exitCode
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fredsim <experiment> [-ab] [-csv] [-parallel N] [-trace out.json]
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: fredsim <experiment> [-ab] [-csv] [-parallel N] [-trace out.json]
                [-linkstats] [-metrics out.json] [-critpath out.json]
-               [-cpuprofile out.pprof]
+               [-timeseries out.json] [-progress] [-debug-addr host:port]
+               [-cpuprofile out.pprof] [-memprofile out.pprof]
+               [-mutexprofile out.pprof]
        fredsim -study <experiment> [flags]
 
 experiments: `+strings.Join(studyNames, " "))

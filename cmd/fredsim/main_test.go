@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/wafernet/fred/internal/timeseries"
+)
+
+// TestRunExitCodes: the CLI error conventions — unknown experiment,
+// unknown flag, or missing argument exit 2 with usage on stderr.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		code      int
+		stderrHas string
+	}{
+		{"no experiment", nil, 2, "usage: fredsim"},
+		{"unknown experiment", []string{"fig999"}, 2, `unknown experiment "fig999"`},
+		{"unknown experiment via -study", []string{"-study", "nope"}, 2, `unknown experiment "nope"`},
+		{"unknown flag", []string{"fig1", "-bogus"}, 2, "flag provided but not defined"},
+		{"trailing argument", []string{"fig1", "-csv", "extra"}, 2, `unexpected argument "extra"`},
+		{"valid cheap experiment", []string{"fig1"}, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.code, stderr.String())
+			}
+			if tc.code == 2 && !strings.Contains(stderr.String(), "usage: fredsim") {
+				t.Errorf("exit 2 without usage on stderr: %q", stderr.String())
+			}
+			if tc.stderrHas != "" && !strings.Contains(stderr.String(), tc.stderrHas) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.stderrHas)
+			}
+		})
+	}
+}
+
+// TestRunTimeseriesArtifact: the -timeseries flag writes a decodable
+// fred-timeseries artifact with one labeled cell per simulation.
+func TestRunTimeseriesArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ts.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"fig2", "-parallel", "2", "-timeseries", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	art, err := timeseries.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Manifest.Tool != "fredsim" || art.Manifest.Command != "fig2" {
+		t.Errorf("manifest = %+v", art.Manifest)
+	}
+	if len(art.Cells) == 0 {
+		t.Fatal("no recorded cells in artifact")
+	}
+	if art.Cells[0].Label == "" || len(art.Cells[0].Series) == 0 {
+		t.Errorf("first cell = %+v", art.Cells[0])
+	}
+	if !strings.Contains(stderr.String(), "flight-recorder cells") {
+		t.Errorf("no write confirmation on stderr: %q", stderr.String())
+	}
+}
+
+// TestRunProgressStatusLine: -progress renders the self-overwriting
+// status line and terminates it with a newline.
+func TestRunProgressStatusLine(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"fig2", "-progress"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	se := stderr.String()
+	if !strings.Contains(se, "\rfredsim: Figure2 ") || !strings.Contains(se, "cells · elapsed") {
+		t.Errorf("no status line on stderr: %q", se)
+	}
+	if !strings.HasSuffix(se, "\n") {
+		t.Errorf("status line not terminated: %q", se)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes: the CLI error conventions — unknown flag, wrong
+// argument count, or conflicting artifact modes exit 2 with usage on
+// stderr; an unreadable input exits 1.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		code      int
+		stderrHas string
+	}{
+		{"no arguments", nil, 2, "usage: fredtrace"},
+		{"unknown flag", []string{"-bogus", "t.json"}, 2, "flag provided but not defined"},
+		{"two traces", []string{"a.json", "b.json"}, 2, "usage: fredtrace"},
+		{"critpath and timeseries together", []string{"-critpath", "a.json", "-timeseries", "b.json"}, 2,
+			"mutually exclusive"},
+		{"timeseries with trailing trace", []string{"-timeseries", "a.json", "t.json"}, 2,
+			`unexpected argument "t.json"`},
+		{"missing trace file", []string{"no-such-trace.json"}, 1, "no-such-trace.json"},
+		{"missing timeseries artifact", []string{"-timeseries", "no-such-artifact.json"}, 1,
+			"no-such-artifact.json"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.code, stderr.String())
+			}
+			if tc.code == 2 && !strings.Contains(stderr.String(), "usage: fredtrace") {
+				t.Errorf("exit 2 without usage on stderr: %q", stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.stderrHas) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.stderrHas)
+			}
+		})
+	}
+}

@@ -12,22 +12,30 @@
 // (compute / comm-serialized / comm-contention / fault-recovery /
 // idle) and the top-k critical-path segments with their binding links.
 //
+// With -timeseries, fredtrace summarizes a fred-timeseries JSON
+// artifact (fredsim/fredtrain -timeseries): per-series sample
+// statistics and the hottest sampled intervals of each recorded
+// simulation.
+//
 // Usage:
 //
 //	fredtrace [-k 10] [-top N] [-csv] trace.json
 //	fredtrace [-k 10] [-csv] -critpath artifact.json
+//	fredtrace [-k 10] [-csv] -timeseries artifact.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
 	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/report"
+	"github.com/wafernet/fred/internal/timeseries"
 )
 
 // hasCat reports whether a trace category matches a base category,
@@ -38,52 +46,87 @@ func hasCat(cat, base string) bool {
 }
 
 func main() {
-	k := flag.Int("k", 10, "rows per table")
-	top := flag.Int("top", 0, "bound the flow-stage and counter-track tables to the top N rows (0 = all)")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	critPathIn := flag.String("critpath", "", "summarize this fred-critpath JSON artifact instead of a trace")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver with the process boundary injected. Exit
+// conventions (shared by every fred binary): 0 success, 1 a run that
+// started but failed (unreadable or malformed input), 2 bad usage —
+// unknown flag or wrong arguments, always with usage on stderr.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fredtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, `usage: fredtrace [-k 10] [-top N] [-csv] trace.json
+       fredtrace [-k 10] [-csv] -critpath artifact.json
+       fredtrace [-k 10] [-csv] -timeseries artifact.json`)
+		fs.PrintDefaults()
+	}
+	k := fs.Int("k", 10, "rows per table")
+	top := fs.Int("top", 0, "bound the flow-stage and counter-track tables to the top N rows (0 = all)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	critPathIn := fs.String("critpath", "", "summarize this fred-critpath JSON artifact instead of a trace")
+	tsIn := fs.String("timeseries", "", "summarize this fred-timeseries JSON artifact instead of a trace")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	emit := func(tables []*report.Table) {
 		for _, t := range tables {
 			if *csv {
-				fmt.Print(t.CSV())
-				fmt.Println()
+				fmt.Fprint(stdout, t.CSV())
+				fmt.Fprintln(stdout)
 			} else {
-				fmt.Println(t)
+				fmt.Fprintln(stdout, t)
 			}
 		}
 	}
 
-	if *critPathIn != "" {
-		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: fredtrace [-k 10] [-csv] -critpath artifact.json")
-			os.Exit(2)
+	if *critPathIn != "" && *tsIn != "" {
+		fmt.Fprintln(stderr, "fredtrace: -critpath and -timeseries are mutually exclusive")
+		fs.Usage()
+		return 2
+	}
+	if *critPathIn != "" || *tsIn != "" {
+		if fs.NArg() != 0 {
+			fmt.Fprintf(stderr, "fredtrace: unexpected argument %q\n", fs.Arg(0))
+			fs.Usage()
+			return 2
 		}
-		art, err := critpath.ReadFile(*critPathIn)
+		if *critPathIn != "" {
+			art, err := critpath.ReadFile(*critPathIn)
+			if err != nil {
+				fmt.Fprintln(stderr, "fredtrace:", err)
+				return 1
+			}
+			emit(critPathTables(art, *k))
+			return 0
+		}
+		art, err := timeseries.ReadFile(*tsIn)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fredtrace:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "fredtrace:", err)
+			return 1
 		}
-		emit(critPathTables(art, *k))
-		return
+		emit(timeseriesTables(art, *k))
+		return 0
 	}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fredtrace [-k 10] [-top N] [-csv] trace.json")
-		os.Exit(2)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
 	}
-	data, err := os.ReadFile(flag.Arg(0))
+	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fredtrace:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "fredtrace:", err)
+		return 1
 	}
 	tables, err := summarize(data, *k, *top)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fredtrace:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "fredtrace:", err)
+		return 1
 	}
 	emit(tables)
+	return 0
 }
 
 // traceEvent is the subset of the Chrome trace-event fields the

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wafernet/fred/internal/report"
+	"github.com/wafernet/fred/internal/timeseries"
+)
+
+// timeseriesTables builds the flight-recorder report of a
+// fred-timeseries artifact: per cell, one sample-statistics row per
+// series (count, min, mean, max, last), then the cell's top-k hotspot
+// intervals — the sampled moments with the highest link utilization,
+// each annotated with what the other load probes read at that instant.
+func timeseriesTables(art *timeseries.Artifact, k int) []*report.Table {
+	var tables []*report.Table
+	for i, cell := range art.Cells {
+		label := cellLabel(i, cell.Label)
+		sumTbl := &report.Table{
+			Title:  "Flight recorder series: " + label,
+			Header: []string{"series", "unit", "samples", "min", "mean", "max", "last"},
+		}
+		for _, s := range cell.Series {
+			if len(s.Samples) == 0 {
+				sumTbl.AddRow(s.Name, orDash(s.Unit), 0, "-", "-", "-", "-")
+				continue
+			}
+			min, max, sum := s.Samples[0][1], s.Samples[0][1], 0.0
+			for _, p := range s.Samples {
+				v := p[1]
+				sum += v
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			sumTbl.AddRow(s.Name, orDash(s.Unit), len(s.Samples),
+				fmt.Sprintf("%.4g", min),
+				fmt.Sprintf("%.4g", sum/float64(len(s.Samples))),
+				fmt.Sprintf("%.4g", max),
+				fmt.Sprintf("%.4g", s.Samples[len(s.Samples)-1][1]))
+		}
+		sumTbl.AddNote("interval %s, %d decimations",
+			report.FormatSeconds(cell.IntervalS), cell.Decimations)
+		tables = append(tables, sumTbl, hotspotTable(cell, label, k))
+	}
+	if len(art.Cells) == 0 {
+		empty := &report.Table{Title: "Flight recorder series"}
+		empty.AddNote("artifact contains no recorded cells")
+		tables = append(tables, empty)
+	}
+	return tables
+}
+
+// hotspotTable lists a cell's top-k samples of its hottest series —
+// "net/util/max" when the recorder sampled link utilization, otherwise
+// the first series — alongside the other probes' readings at the same
+// sampled instants. Ties rank the earlier sample first, so the table
+// is a pure function of the artifact.
+func hotspotTable(cell timeseries.Cell, label string, k int) *report.Table {
+	key := -1
+	for i, s := range cell.Series {
+		if s.Name == "net/util/max" {
+			key = i
+			break
+		}
+	}
+	if key < 0 && len(cell.Series) > 0 {
+		key = 0
+	}
+	tbl := &report.Table{
+		Title:  "Hotspot intervals: " + label,
+		Header: []string{"time", "series", "value", "pending", "active flows"},
+	}
+	if key < 0 {
+		tbl.AddNote("no series recorded")
+		return tbl
+	}
+	keySeries := cell.Series[key]
+	order := make([]int, len(keySeries.Samples))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		va, vb := keySeries.Samples[order[a]][1], keySeries.Samples[order[b]][1]
+		if va != vb {
+			return va > vb
+		}
+		return keySeries.Samples[order[a]][0] < keySeries.Samples[order[b]][0]
+	})
+	if k > 0 && k < len(order) {
+		order = order[:k]
+	}
+	// Companion probes looked up by sample index: every series shares
+	// the cell's time base, so index j is the same instant in all.
+	lookup := func(name string, j int) string {
+		for _, s := range cell.Series {
+			if s.Name == name && j < len(s.Samples) {
+				return fmt.Sprintf("%.4g", s.Samples[j][1])
+			}
+		}
+		return "-"
+	}
+	for _, j := range order {
+		p := keySeries.Samples[j]
+		tbl.AddRow(report.FormatSeconds(p[0]), keySeries.Name,
+			fmt.Sprintf("%.4g", p[1]),
+			lookup("sched/pending", j), lookup("net/active_flows", j))
+	}
+	tbl.AddNote("ranked by %s over %d samples", keySeries.Name, len(keySeries.Samples))
+	return tbl
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes: the CLI error conventions — unknown flag, unknown
+// model / system / schedule, or a stray positional argument exit 2
+// with usage on stderr.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		code      int
+		stderrHas string
+	}{
+		{"unknown flag", []string{"-bogus"}, 2, "flag provided but not defined"},
+		{"trailing argument", []string{"extra"}, 2, `unexpected argument "extra"`},
+		{"unknown model", []string{"-model", "bert"}, 2, `unknown model "bert"`},
+		{"unknown system", []string{"-system", "Fred-Z"}, 2, `unknown system "Fred-Z"`},
+		{"unknown schedule", []string{"-schedule", "zigzag"}, 2, `unknown schedule "zigzag"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), "usage: fredtrain") {
+				t.Errorf("exit 2 without usage on stderr: %q", stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.stderrHas) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.stderrHas)
+			}
+		})
+	}
+}
+
+// A small valid run exits 0 and prints the summary to stdout.
+func TestRunSuccess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-model", "resnet152", "-system", "Baseline", "-batch", "4"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	if stdout.Len() == 0 {
+		t.Error("no summary on stdout")
+	}
+}

@@ -192,7 +192,17 @@ type Edge struct {
 type Recorder struct {
 	nodes []Node
 	edges []Edge
+	// closed accumulates the blame of every completed (Closed, Failed
+	// or Added) node — the cumulative decomposition the time-series
+	// flight recorder samples mid-run.
+	closed Blame
 }
+
+// ClosedBlame returns the cumulative blame of every node recorded so
+// far (completed nodes only; an Open node contributes once Close or
+// Fail runs). It is a monotone function of recording progress, so the
+// flight recorder can sample it as a set of cumulative counters.
+func (r *Recorder) ClosedBlame() Blame { return r.closed }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
@@ -202,6 +212,7 @@ func NewRecorder() *Recorder { return &Recorder{} }
 func (r *Recorder) Add(n Node) NodeID {
 	n.ID = NodeID(len(r.nodes) + 1)
 	r.nodes = append(r.nodes, n)
+	r.closed.Add(n.Blame)
 	return n.ID
 }
 
@@ -216,6 +227,8 @@ func (r *Recorder) Close(id NodeID, end sim.Time, b Blame, bindLink string) {
 		return
 	}
 	n := &r.nodes[id-1]
+	r.closed.Add(Blame{Serial: b.Serial - n.Blame.Serial,
+		Contention: b.Contention - n.Blame.Contention, Fault: b.Fault - n.Blame.Fault})
 	n.End = end
 	n.Blame = b
 	n.BindLink = bindLink
@@ -227,6 +240,8 @@ func (r *Recorder) Fail(id NodeID, end sim.Time, b Blame) {
 		return
 	}
 	n := &r.nodes[id-1]
+	r.closed.Add(Blame{Serial: b.Serial - n.Blame.Serial,
+		Contention: b.Contention - n.Blame.Contention, Fault: b.Fault - n.Blame.Fault})
 	n.End = end
 	n.Blame = b
 	n.Failed = true

@@ -9,8 +9,11 @@ import (
 	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/metrics"
 	"github.com/wafernet/fred/internal/netsim"
+	"github.com/wafernet/fred/internal/obs"
 	"github.com/wafernet/fred/internal/parallelism"
 	"github.com/wafernet/fred/internal/report"
+	"github.com/wafernet/fred/internal/sim"
+	"github.com/wafernet/fred/internal/timeseries"
 	"github.com/wafernet/fred/internal/trace"
 	"github.com/wafernet/fred/internal/training"
 	"github.com/wafernet/fred/internal/workload"
@@ -36,7 +39,17 @@ type Session struct {
 	linkStats      bool
 	collectMetrics bool
 	collectCrit    bool
+	collectTS      bool
 	parallel       int
+
+	// progress is the wall-clock flight-recorder plane: when set, every
+	// forEach reports study/cell lifecycle events to it. Child sessions
+	// do not inherit the engine — the parent's forEach wraps each cell —
+	// but they do carry the in-flight cell's token (cellTok), so the
+	// networks a cell builds can push their simulated clock into the
+	// live /progress view.
+	progress *obs.Engine
+	cellTok  *obs.Cell
 
 	// schedCache shares compiled healthy-fabric collective schedules
 	// across every cell the session runs: the first cell to need an
@@ -56,6 +69,7 @@ type Session struct {
 	linkTables  *report.Collector
 	metricsColl *metrics.Collector
 	critColl    *critpath.Collector
+	tsColl      *timeseries.Collector
 }
 
 // CellError reports a panic recovered from one experiment cell: the
@@ -104,6 +118,7 @@ func NewSession() *Session {
 		linkTables:  report.NewCollector(),
 		metricsColl: metrics.NewCollector(),
 		critColl:    critpath.NewCollector(),
+		tsColl:      timeseries.NewCollector(),
 		schedCache:  collective.NewSharedCache(),
 	}
 }
@@ -188,6 +203,30 @@ func (s *Session) CollectCritPath(on bool) {
 // byte-identical at every worker-pool size.
 func (s *Session) CritPathCells() []critpath.Iteration { return s.critColl.Cells() }
 
+// CollectTimeseries toggles the simulated-time flight recorder: every
+// subsequently built system gets a timeseries.Recorder hooked onto its
+// scheduler (sampling heap depth, flow activity, fill work, link
+// utilization and — when critpath collection is also on — cumulative
+// blame), finished at the cell's final simulated time. Enabling resets
+// previously collected recorders.
+func (s *Session) CollectTimeseries(on bool) {
+	s.collectTS = on
+	s.tsColl = timeseries.NewCollector()
+}
+
+// TimeseriesCells returns the recorded cells collected since
+// CollectTimeseries(true), in driver cell order regardless of which
+// worker ran each cell — the same deterministic slot scheme as the
+// other collectors, so the exported fred-timeseries/v1 artifact is
+// byte-identical at every worker-pool size.
+func (s *Session) TimeseriesCells() []timeseries.Cell { return s.tsColl.Cells() }
+
+// SetProgress attaches the wall-clock progress engine: every forEach
+// reports study starts and cell start/finish events to it, and each
+// in-flight cell's simulated clock is sampled into the engine's
+// snapshots via a throttled scheduler hook. Pass nil to detach.
+func (s *Session) SetProgress(e *obs.Engine) { s.progress = e }
+
 // workers resolves the effective pool size.
 func (s *Session) workers() int {
 	if s.tracer != nil {
@@ -216,10 +255,24 @@ func (s *Session) workers() int {
 // completion, the pool drains normally, and Err reports the aggregate.
 // A failed cell's row stays zero-valued in the caller's result array.
 func (s *Session) forEach(study string, n int, fn func(cell int, cs *Session)) {
+	if s.progress != nil {
+		s.progress.StudyStarted(study, n)
+	}
 	runCell := func(i int, cs *Session) {
+		var tok *obs.Cell
+		if s.progress != nil {
+			tok = s.progress.CellStarted(study, i)
+			cs.cellTok = tok
+		}
 		defer func() {
+			failed := false
 			if r := recover(); r != nil {
 				s.addErr(&CellError{Study: study, Cell: i, Value: r})
+				failed = true
+			}
+			cs.cellTok = nil
+			if s.progress != nil {
+				s.progress.CellFinished(tok, failed)
 			}
 		}()
 		fn(i, cs)
@@ -238,17 +291,20 @@ func (s *Session) forEach(study string, n int, fn func(cell int, cs *Session)) {
 	slots := make([]int, n)
 	mslots := make([]int, n)
 	cslots := make([]int, n)
+	tslots := make([]int, n)
 	for i := range children {
 		c := NewSession()
 		c.linkStats = s.linkStats
 		c.collectMetrics = s.collectMetrics
 		c.collectCrit = s.collectCrit
+		c.collectTS = s.collectTS
 		c.parallel = 1
 		c.schedCache = s.schedCache
 		children[i] = c
 		slots[i] = s.linkTables.Reserve()
 		mslots[i] = s.metricsColl.Reserve()
 		cslots[i] = s.critColl.Reserve()
+		tslots[i] = s.tsColl.Reserve()
 	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, w)
@@ -266,6 +322,7 @@ func (s *Session) forEach(study string, n int, fn func(cell int, cs *Session)) {
 		s.linkTables.Fill(slots[i], c.LinkStatsTables()...)
 		s.metricsColl.Fill(mslots[i], c.metricsColl.Registries()...)
 		s.critColl.Fill(cslots[i], c.critColl.Cells()...)
+		s.tsColl.Fill(tslots[i], c.tsColl.Recorders()...)
 		// Nested fan-outs record on the child; surface those too.
 		s.mu.Lock()
 		s.errs = append(s.errs, c.errs...)
@@ -298,6 +355,23 @@ func (s *Session) observeNetwork(net *netsim.Network, system System) {
 	}
 	if s.collectCrit {
 		net.SetCritPath(critpath.NewRecorder())
+	}
+	if s.collectTS {
+		// After SetCritPath, so the recorder picks up the blame probes.
+		rec := timeseries.NewRecorder(timeseries.Config{})
+		rec.SetLabel(string(system))
+		rec.AttachScheduler(net.Scheduler())
+		net.SetTimeseries(rec)
+		s.tsColl.Append(rec)
+	}
+	if tok := s.cellTok; tok != nil {
+		// Push the in-flight cell's simulated clock into the live
+		// progress view, throttled to one store per 4096 events.
+		net.Scheduler().AddEventHook(func(now sim.Time, fired uint64) {
+			if fired%4096 == 0 {
+				tok.SetSimTime(now)
+			}
+		})
 	}
 }
 
@@ -332,6 +406,12 @@ func (s *Session) runTraining(sys System, m *workload.Model, strat parallelism.S
 	})
 	if err != nil {
 		return nil, err
+	}
+	if ts := net.Timeseries(); ts != nil {
+		ts.Finish(net.Scheduler().Now())
+	}
+	if tok := s.cellTok; tok != nil {
+		tok.SetSimTime(net.Scheduler().Now())
 	}
 	if s.collectMetrics {
 		net.FlushMetrics()

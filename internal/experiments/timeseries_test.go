@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/wafernet/fred/internal/metrics"
+	"github.com/wafernet/fred/internal/obs"
+	"github.com/wafernet/fred/internal/parallelism"
+	"github.com/wafernet/fred/internal/timeseries"
+	"github.com/wafernet/fred/internal/workload"
+)
+
+// timeseriesArtifactOf runs Figure 2 with the flight recorder at a
+// given pool size and exports the collected cells.
+func timeseriesArtifactOf(t *testing.T, parallel int) []byte {
+	t.Helper()
+	s := NewSession()
+	s.SetParallel(parallel)
+	s.CollectTimeseries(true)
+	s.Figure2()
+	art := timeseries.Export(metrics.Manifest{Tool: "fredsim", Command: "fig2"}, s.TimeseriesCells())
+	data, err := art.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// The golden gate of the flight recorder: a recorder-enabled figure
+// driver exports byte-identical fred-timeseries artifacts at every
+// -parallel pool size. Recorders collect per cell and merge in
+// reserved slot order, so completion order must not leak into the
+// artifact.
+func TestTimeseriesParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs Figure 2 three times")
+	}
+	seq := timeseriesArtifactOf(t, 1)
+	if len(seq) == 0 || !bytes.Contains(seq, []byte("net/active_flows")) {
+		t.Fatalf("sequential artifact missing flight-recorder series:\n%.400s", seq)
+	}
+	for _, n := range []int{2, 4} {
+		if got := timeseriesArtifactOf(t, n); !bytes.Equal(got, seq) {
+			t.Fatalf("-parallel %d timeseries artifact differs from sequential", n)
+		}
+	}
+}
+
+// RunTraining with the recorder on captures one finished cell per
+// built system, labeled with the system and carrying scheduler,
+// network and (with critpath collection) blame series.
+func TestSessionCollectTimeseries(t *testing.T) {
+	s := NewSession()
+	s.CollectCritPath(true)
+	s.CollectTimeseries(true)
+	_, err := s.RunTraining(Baseline, workload.Transformer17B(),
+		parallelism.Strategy{MP: 3, DP: 3, PP: 2}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := s.TimeseriesCells()
+	if len(cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(cells))
+	}
+	c := cells[0]
+	if c.Label != string(Baseline) {
+		t.Errorf("cell label = %q, want %q", c.Label, Baseline)
+	}
+	have := map[string]int{}
+	for _, sd := range c.Series {
+		have[sd.Name] = len(sd.Samples)
+	}
+	for _, name := range []string{"sched/pending", "net/active_flows", "net/util/max", "crit/serial_s"} {
+		if n, ok := have[name]; !ok || n == 0 {
+			t.Errorf("series %q missing or empty (have %v)", name, have)
+		}
+	}
+	// Disabling resets collected state.
+	s.CollectTimeseries(false)
+	if got := s.TimeseriesCells(); len(got) != 0 {
+		t.Fatalf("reset left %d cells", len(got))
+	}
+}
+
+// fakeClock advances one second per reading, serialized for the
+// parallel pool.
+func fakeClock() func() time.Time {
+	base := time.Unix(1000, 0)
+	n := 0
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return base.Add(time.Duration(n-1) * time.Second)
+	}
+}
+
+// progressGolden runs a fixed 2×2 sweep (4 trivial cells through
+// forEach) under an injected fake clock and returns the rendered
+// status-line bytes and the final /progress JSON.
+func progressGolden(t *testing.T, parallel int) (status, snapJSON string) {
+	t.Helper()
+	engine := obs.NewEngine(fakeClock())
+	var lines bytes.Buffer
+	sl := obs.NewStatusLine(&lines, "fredsim")
+	engine.OnUpdate(sl.Update)
+
+	s := NewSession()
+	s.SetParallel(parallel)
+	s.SetProgress(engine)
+	var mu sync.Mutex
+	tokens := 0
+	s.forEach("golden", 4, func(cell int, cs *Session) {
+		if cs.cellTok != nil {
+			mu.Lock()
+			tokens++
+			mu.Unlock()
+		}
+	})
+	sl.Done()
+	if tokens != 4 {
+		t.Fatalf("cell token present in %d of 4 cells", tokens)
+	}
+	data, err := json.Marshal(engine.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lines.String(), string(data)
+}
+
+// Satellite golden: the -progress status line and the /progress JSON
+// are deterministic under a fake clock — and identical at -parallel 1
+// and 4, because the engine reads the clock only at construction and
+// per cell completion, never per cell start.
+func TestProgressGoldenAcrossPoolSizes(t *testing.T) {
+	wantStatus := "\rfredsim: golden 1/4 cells · elapsed 1.0s · eta 3.0s" +
+		"\rfredsim: golden 2/4 cells · elapsed 2.0s · eta 2.0s" +
+		"\rfredsim: golden 3/4 cells · elapsed 3.0s · eta 1.0s" +
+		"\rfredsim: golden 4/4 cells · elapsed 4.0s · eta 0.0s\n"
+	// Clock reads: 1 construction + 4 completions + 1 snapshot = 6, so
+	// the final snapshot observes elapsed_s = 5.
+	wantJSON := `{"study":"golden","studies":1,"cells_total":4,"cells_done":4,"elapsed_s":5,"eta_s":0}`
+	for _, parallel := range []int{1, 4} {
+		status, snap := progressGolden(t, parallel)
+		if status != wantStatus {
+			t.Errorf("-parallel %d status:\n got %q\nwant %q", parallel, status, wantStatus)
+		}
+		if snap != wantJSON {
+			t.Errorf("-parallel %d /progress JSON:\n got %s\nwant %s", parallel, snap, wantJSON)
+		}
+	}
+}
+
+// A panicking cell is retired as failed: progress keeps counting, the
+// failure lands in the snapshot, and the session still reports it.
+func TestProgressFailedCell(t *testing.T) {
+	engine := obs.NewEngine(fakeClock())
+	s := NewSession()
+	s.SetParallel(1)
+	s.SetProgress(engine)
+	s.forEach("boom", 2, func(cell int, cs *Session) {
+		if cell == 1 {
+			panic("kaboom")
+		}
+	})
+	snap := engine.Snapshot()
+	if snap.CellsDone != 2 || snap.CellsFailed != 1 {
+		t.Fatalf("snapshot = %+v, want 2 done / 1 failed", snap)
+	}
+	if s.Err() == nil {
+		t.Fatal("session swallowed the cell failure")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"github.com/wafernet/fred/internal/critpath"
 	"github.com/wafernet/fred/internal/metrics"
 	"github.com/wafernet/fred/internal/sim"
+	"github.com/wafernet/fred/internal/timeseries"
 	"github.com/wafernet/fred/internal/trace"
 )
 
@@ -415,6 +416,17 @@ type Network struct {
 	// node, contention stall and binding link into the critpath DAG.
 	crit *critpath.Recorder
 
+	// Flight-recorder state (SetTimeseries): delivered/completed are
+	// always-on scalar totals (two adds per flow completion) so the
+	// time-series probes have cumulative signals to sample without the
+	// metrics registry attached; fillExported remembers the FillStats
+	// already flushed into the metrics registry so repeated
+	// FlushMetrics calls export monotone deltas.
+	ts           *timeseries.Recorder
+	delivered    float64
+	completed    uint64
+	fillExported FillStats
+
 	name       string // trace namespace (SetName)
 	catFlow    string
 	linkPrefix string
@@ -510,6 +522,85 @@ func (n *Network) SetCritPath(rec *critpath.Recorder) {
 // CritPath returns the attached critpath recorder, or nil.
 func (n *Network) CritPath() *critpath.Recorder { return n.crit }
 
+// utilTopK is the number of hottest links folded into the flight
+// recorder's net/util/topk_mean probe.
+const utilTopK = 8
+
+// SetTimeseries attaches a flight recorder: the network registers its
+// load probes — active flows, completed flows, cumulative delivered
+// bytes, rate-engine FillStats counters, and instantaneous link
+// utilization (the maximum and the mean of the utilTopK hottest
+// links) — plus, when a critpath recorder is attached, the cumulative
+// blame decomposition. Attach SetCritPath first if blame series are
+// wanted. Probes are pure reads sampled from the scheduler's event
+// hook, so recording cannot perturb simulated results. Implies
+// EnableLinkTelemetry. A nil recorder detaches (probes already
+// registered keep sampling a detached network harmlessly).
+func (n *Network) SetTimeseries(rec *timeseries.Recorder) {
+	n.ts = rec
+	if rec == nil {
+		return
+	}
+	n.telemetry = true
+	rec.Probe("net/active_flows", "", func() float64 { return float64(len(n.active)) })
+	rec.Probe("net/flows_completed", "", func() float64 { return float64(n.completed) })
+	rec.Probe("net/bytes_delivered", "B", func() float64 { return n.delivered })
+	rec.Probe("net/fill/recomputes", "", func() float64 { return float64(n.stats.Recomputes) })
+	rec.Probe("net/fill/domains_filled", "", func() float64 { return float64(n.stats.DomainsFilled) })
+	rec.Probe("net/fill/flows_filled", "", func() float64 { return float64(n.stats.FlowsFilled) })
+	rec.Probe("net/util/max", "", func() float64 { mx, _ := n.utilTop(); return mx })
+	rec.Probe("net/util/topk_mean", "", func() float64 { _, mean := n.utilTop(); return mean })
+	if n.crit != nil {
+		rec.Probe("crit/serial_s", "s", func() float64 { return n.crit.ClosedBlame().Serial })
+		rec.Probe("crit/contention_s", "s", func() float64 { return n.crit.ClosedBlame().Contention })
+		rec.Probe("crit/fault_s", "s", func() float64 { return n.crit.ClosedBlame().Fault })
+	}
+}
+
+// Timeseries returns the attached flight recorder, or nil.
+func (n *Network) Timeseries() *timeseries.Recorder { return n.ts }
+
+// utilTop scans the finite links' instantaneous utilization (the
+// fill-maintained per-link rate sums over bandwidth) and returns the
+// maximum and the mean of the utilTopK hottest links. A pure read —
+// it runs inside the scheduler event hook.
+func (n *Network) utilTop() (max, topKMean float64) {
+	var top [utilTopK]float64
+	count := 0
+	for _, l := range n.links {
+		if math.IsInf(l.Bandwidth, 1) || int(l.ID) >= len(n.rateSum) {
+			continue
+		}
+		u := n.rateSum[l.ID] / l.Bandwidth
+		if u > max {
+			max = u
+		}
+		// Insertion into the fixed top-K buffer (K is small).
+		if count < utilTopK {
+			top[count] = u
+			count++
+			continue
+		}
+		mi := 0
+		for i := 1; i < utilTopK; i++ {
+			if top[i] < top[mi] {
+				mi = i
+			}
+		}
+		if u > top[mi] {
+			top[mi] = u
+		}
+	}
+	if count == 0 {
+		return max, 0
+	}
+	sum := 0.0
+	for i := 0; i < count; i++ {
+		sum += top[i]
+	}
+	return max, sum / float64(count)
+}
+
 // FlushMetrics settles byte counters and accumulates the utilization
 // interval since the last rate recomputation into the per-link
 // histograms, so distributions cover the full horizon including a
@@ -521,6 +612,26 @@ func (n *Network) FlushMetrics() {
 	}
 	n.settle()
 	n.accumUtil(n.sched.Now())
+	n.flushFillStats()
+}
+
+// flushFillStats exports the sharded rate engine's deterministic work
+// counters into the metrics registry as netsim/fill/* series, so they
+// appear in fred-metrics artifacts and fredreport diffs, not just the
+// scaleout CSV. Counters are monotone: repeated flushes add only the
+// delta accumulated since the previous one.
+func (n *Network) flushFillStats() {
+	cur, prev := n.stats, n.fillExported
+	add := func(name string, cur, prev uint64) {
+		n.metrics.Counter("netsim/fill/"+name, "").Add(float64(cur - prev))
+	}
+	add("recomputes", cur.Recomputes, prev.Recomputes)
+	add("fill_passes", cur.FillPasses, prev.FillPasses)
+	add("lazy_skips", cur.Recomputes-cur.FillPasses, prev.Recomputes-prev.FillPasses)
+	add("domains_filled", cur.DomainsFilled, prev.DomainsFilled)
+	add("components_filled", cur.ComponentsFilled, prev.ComponentsFilled)
+	add("flows_filled", cur.FlowsFilled, prev.FlowsFilled)
+	n.fillExported = cur
 }
 
 // accumUtil charges the utilization that held over [lastObserve, now)
@@ -869,6 +980,8 @@ func (n *Network) finish(f *Flow) {
 	f.state = FlowDone
 	f.remaining = 0
 	f.finished = n.sched.Now()
+	n.completed++
+	n.delivered += f.total
 	if n.mFlowsCompleted != nil {
 		n.mFlowsCompleted.Add(1)
 		n.mBytesDelivered.Add(f.total)

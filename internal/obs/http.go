@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// debugEngine is the engine expvar reads from. expvar.Publish is
+// global and panics on re-registration, so the published variable
+// indirects through this pointer instead of capturing an engine.
+var (
+	debugEngine atomic.Pointer[Engine]
+	expvarOnce  sync.Once
+)
+
+// publishExpvar registers the "fred.progress" expvar exactly once per
+// process; subsequent engines just swap the pointer it reads.
+func publishExpvar(e *Engine) {
+	debugEngine.Store(e)
+	expvarOnce.Do(func() {
+		expvar.Publish("fred.progress", expvar.Func(func() any {
+			if cur := debugEngine.Load(); cur != nil {
+				return cur.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// Handler returns the debug endpoint's mux:
+//
+//	/progress            one JSON Snapshot
+//	/progress/stream     SSE: one "data: <snapshot JSON>" event now and
+//	                     per cell completion
+//	/debug/vars          expvar (includes fred.progress)
+//	/debug/pprof/...     runtime profiles
+func Handler(e *Engine) http.Handler {
+	publishExpvar(e)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(e.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(data, '\n'))
+	})
+	mux.HandleFunc("/progress/stream", func(w http.ResponseWriter, r *http.Request) {
+		streamProgress(e, w, r)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// streamProgress serves one SSE subscriber: the current snapshot
+// immediately, then one event per cell completion until the client
+// disconnects. Events the client is too slow for are dropped (the
+// channel is a small buffer, not a backlog) — progress is a state, not
+// a log, so the next event supersedes anything missed.
+func streamProgress(e *Engine, w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	updates := make(chan Snapshot, 4)
+	var closed atomic.Bool
+	e.OnUpdate(func(s Snapshot) {
+		if closed.Load() {
+			return
+		}
+		select {
+		case updates <- s:
+		default:
+		}
+	})
+	defer closed.Store(true)
+
+	send := func(s Snapshot) bool {
+		data, err := json.Marshal(s)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	if !send(e.Snapshot()) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case s := <-updates:
+			if !send(s) {
+				return
+			}
+		}
+	}
+}
+
+// StartServer binds addr, reports the resolved listening address on
+// errw (useful with ":0"), and serves the debug handler in the
+// background for the life of the process. The listen itself is
+// synchronous so a bad address fails fast at startup.
+func StartServer(addr string, e *Engine, errw interface{ Write([]byte) (int, error) }) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug listener: %w", err)
+	}
+	resolved := ln.Addr().String()
+	if errw != nil {
+		fmt.Fprintf(errw, "debug endpoint listening on http://%s/progress\n", resolved)
+	}
+	srv := &http.Server{Handler: Handler(e)}
+	go srv.Serve(ln)
+	return resolved, nil
+}

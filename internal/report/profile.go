@@ -1,0 +1,78 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts the runtime profiles the drivers expose as
+// -cpuprofile / -memprofile / -mutexprofile (empty paths are skipped)
+// and returns a stop function that finalizes and writes them. CPU
+// profiling starts immediately; the heap and mutex profiles are
+// written at stop time, so they capture the end-of-run state. The stop
+// function is idempotent and must be called before the process exits —
+// including on the error-exit path, where os.Exit would skip a defer.
+func StartProfiles(cpuPath, memPath, mutexPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	if mutexPath != "" {
+		// 1 = sample every contention event; the simulators are nearly
+		// lock-free, so full sampling is affordable and loses nothing.
+		runtime.SetMutexProfileFraction(1)
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if memPath != "" {
+			runtime.GC() // flush unreached allocations out of the heap profile
+			if err := writeProfile("allocs", memPath); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if mutexPath != "" {
+			if err := writeProfile("mutex", mutexPath); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			runtime.SetMutexProfileFraction(0)
+		}
+		return firstErr
+	}, nil
+}
+
+// writeProfile dumps one named runtime profile to a file.
+func writeProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("report: unknown profile %q", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartProfilesWritesAll(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	mtx := filepath.Join(dir, "mutex.pprof")
+	stop, err := StartProfiles(cpu, mem, mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some profiled work, so the CPU profile has something to sample.
+	sink := 0
+	for i := 0; i < 1e6; i++ {
+		sink += i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem, mtx} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	// Idempotent stop.
+	if err := stop(); err != nil {
+		t.Errorf("second stop: %v", err)
+	}
+}
+
+func TestStartProfilesAllDisabled(t *testing.T) {
+	stop, err := StartProfiles("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("no-op stop: %v", err)
+	}
+}
+
+func TestStartProfilesBadPath(t *testing.T) {
+	if _, err := StartProfiles(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), "", ""); err == nil {
+		t.Fatal("unwritable CPU profile path accepted")
+	}
+}

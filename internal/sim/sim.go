@@ -132,6 +132,25 @@ func (s *Scheduler) stampDepth(e *Event) {
 // (the default) disables it. The hook must not mutate the scheduler.
 func (s *Scheduler) SetEventHook(h func(now Time, fired uint64)) { s.hook = h }
 
+// AddEventHook chains an additional observer onto the event hook:
+// after each event the existing hook (if any) runs first, then h.
+// Several observability layers — the trace scheduler counter and the
+// time-series flight recorder — can therefore watch one scheduler
+// without knowing about each other. A nil h is ignored.
+func (s *Scheduler) AddEventHook(h func(now Time, fired uint64)) {
+	if h == nil {
+		return
+	}
+	if prev := s.hook; prev != nil {
+		s.hook = func(now Time, fired uint64) {
+			prev(now, fired)
+			h(now, fired)
+		}
+		return
+	}
+	s.hook = h
+}
+
 // NewScheduler returns a scheduler with the clock at zero.
 func NewScheduler() *Scheduler { return &Scheduler{} }
 

@@ -1,0 +1,65 @@
+package timeseries
+
+import "sync"
+
+// Collector accumulates recorder cells produced by concurrent
+// experiment cells while guaranteeing a deterministic merge order —
+// the same slot-reservation pattern as metrics.Collector and
+// critpath.Collector: a producer reserves an ordered slot up front (in
+// work-issue order) and fills it whenever its cell completes; Cells
+// folds the slots in reservation order, so the exported artifact is
+// byte-identical at every worker-pool size.
+//
+// All methods are safe for concurrent use.
+type Collector struct {
+	mu    sync.Mutex
+	slots [][]*Recorder
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Reserve allocates the next ordered slot and returns its index.
+func (c *Collector) Reserve() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots = append(c.slots, nil)
+	return len(c.slots) - 1
+}
+
+// Fill appends recorders to a previously reserved slot. It may be
+// called several times; recorders accumulate within the slot in call
+// order.
+func (c *Collector) Fill(slot int, recs ...*Recorder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots[slot] = append(c.slots[slot], recs...)
+}
+
+// Append reserves a slot and fills it in one step — the sequential
+// producer's convenience.
+func (c *Collector) Append(recs ...*Recorder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots = append(c.slots, recs)
+}
+
+// Recorders returns every collected recorder, flattened in slot order.
+func (c *Collector) Recorders() []*Recorder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*Recorder
+	for _, s := range c.slots {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Cells snapshots every collected recorder, in slot order.
+func (c *Collector) Cells() []Cell {
+	var out []Cell
+	for _, r := range c.Recorders() {
+		out = append(out, r.Snapshot())
+	}
+	return out
+}
