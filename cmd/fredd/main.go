@@ -1,0 +1,220 @@
+// Command fredd runs the FRED simulator as a hardened long-running
+// service: studies (training iterations, collectives, fault sweeps)
+// are submitted as JSON over HTTP and executed on a bounded worker
+// pool with explicit load shedding, per-job deadlines, panic
+// isolation, an exact result cache keyed by the deterministic
+// config-hash, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	fredd [-addr :8080] [-workers N] [-queue N] [-deadline 10s]
+//	      [-max-deadline 60s] [-cache N] [-hazards]
+//	fredd -swarm [-url http://host:port] [-requests N] [-clients N]
+//	      [-seed S] [-hazards]
+//
+// Server mode:
+//
+//	-addr a          listen address (default :8080)
+//	-workers N       simulation worker pool (default GOMAXPROCS)
+//	-queue N         admission queue depth; submissions beyond it are
+//	                 shed with 429 + Retry-After (default 64)
+//	-deadline d      default per-job deadline, queue wait included
+//	-max-deadline d  hard cap on client-requested deadlines
+//	-cache N         result-cache entries, FIFO-evicted (default 4096)
+//	-hazards         admit the chaos study kinds ("poison", "spin")
+//	                 used by the swarm driver; never set in production
+//	-drain-grace d   SIGTERM drain budget before in-flight jobs are
+//	                 force-canceled (default 30s)
+//
+// Endpoints:
+//
+//	POST /v1/studies   submit a study; the response is the versioned
+//	                   fred-study/v1 result (or a typed error). The
+//	                   X-Fredd-Cache header says hit or miss; bodies
+//	                   are byte-identical either way.
+//	GET  /healthz      liveness (200 while the process serves)
+//	GET  /readyz       readiness (503 once draining)
+//	GET  /metrics      the serve/* plane as a fred-metrics/v1 artifact
+//	GET  /progress     live job progress (also /progress/stream SSE,
+//	                   /debug/vars, /debug/pprof)
+//
+// Swarm mode (-swarm) is the load-driver: a seeded storm of mixed
+// requests — hot cache hits, cold studies, poison jobs that panic
+// server-side, spin jobs only a deadline can stop — that verifies the
+// server sheds load instead of collapsing. Exit status: 0 when the
+// server held (no transport errors, no body mismatches), 1 when it
+// collapsed, 2 for usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/wafernet/fred/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fredd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		workers     = fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue       = fs.Int("queue", 64, "admission queue depth")
+		deadline    = fs.Duration("deadline", 10*time.Second, "default per-job deadline")
+		maxDeadline = fs.Duration("max-deadline", 60*time.Second, "cap on requested deadlines")
+		cache       = fs.Int("cache", 4096, "result cache entries")
+		hazards     = fs.Bool("hazards", false, "admit chaos study kinds (poison, spin)")
+		drainGrace  = fs.Duration("drain-grace", 30*time.Second, "SIGTERM drain budget")
+
+		swarm     = fs.Bool("swarm", false, "run the load-driver instead of the server")
+		url       = fs.String("url", "http://127.0.0.1:8080", "swarm: server base URL")
+		requests  = fs.Int("requests", 1000, "swarm: total requests")
+		clients   = fs.Int("clients", 32, "swarm: concurrent clients")
+		seed      = fs.Int64("seed", 1, "swarm: traffic seed")
+		hotFrac   = fs.Float64("hot", 0.5, "swarm: hot-traffic fraction")
+		poisFrac  = fs.Float64("poison", 0, "swarm: poison fraction (0 = default 0.05)")
+		spinFrac  = fs.Float64("spin", 0, "swarm: spin fraction (0 = default 0.05)")
+		spinMS    = fs.Int("spin-deadline-ms", 150, "swarm: deadline for spin jobs")
+		swarmJSON = fs.Bool("json", false, "swarm: emit the report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "fredd: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+
+	if *swarm {
+		return runSwarm(stdout, stderr, serve.SwarmConfig{
+			BaseURL:        *url,
+			Clients:        *clients,
+			Requests:       *requests,
+			Seed:           *seed,
+			HotFraction:    *hotFrac,
+			PoisonFraction: *poisFrac,
+			SpinFraction:   *spinFrac,
+			SpinDeadlineMS: *spinMS,
+			Out:            stderr,
+		}, !*hazards, *swarmJSON)
+	}
+
+	return runServer(stdout, stderr, *addr, serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		CacheEntries:    *cache,
+		Hazards:         *hazards,
+		ErrLog:          stderr,
+	}, *drainGrace)
+}
+
+// runServer boots the daemon and blocks until SIGTERM/SIGINT, then
+// drains gracefully: readiness flips, new submissions answer 503,
+// running jobs finish inside the grace budget (force-canceled past
+// it), artifacts flush, and the process exits 0.
+func runServer(stdout, stderr io.Writer, addr string, cfg serve.Config, grace time.Duration) int {
+	srv := serve.NewServer(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "fredd: listen %s: %v\n", addr, err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "fredd: serving on %s (workers=%d queue=%d hazards=%v)\n",
+		ln.Addr(), cfgWorkers(cfg), cfgQueue(cfg), cfg.Hazards)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "fredd: %v — draining (grace %v)\n", sig, grace)
+	case err := <-errc:
+		fmt.Fprintf(stderr, "fredd: serve: %v\n", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(stderr, "fredd: drain incomplete, in-flight jobs canceled: %v\n", err)
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	hs.Shutdown(shutCtx)
+	fmt.Fprintln(stdout, "fredd: drained, exiting")
+	return 0
+}
+
+// cfgWorkers/cfgQueue mirror NewServer's defaulting for the boot line.
+func cfgWorkers(cfg serve.Config) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return 0 // NewServer resolves to GOMAXPROCS; 0 marks "auto" in the log
+}
+
+func cfgQueue(cfg serve.Config) int {
+	if cfg.QueueDepth > 0 {
+		return cfg.QueueDepth
+	}
+	return 64
+}
+
+// runSwarm preflights the target, fires the storm, prints the report,
+// and exits non-zero only if the server collapsed.
+func runSwarm(stdout, stderr io.Writer, cfg serve.SwarmConfig, disableHazards, asJSON bool) int {
+	if disableHazards {
+		// Without -hazards the target rejects poison/spin kinds, so
+		// keep the storm to admissible traffic.
+		cfg.PoisonFraction = -1
+		cfg.SpinFraction = -1
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer cancel()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	status, _, err := serve.Probe(ctx, client, cfg.BaseURL+"/healthz")
+	if err != nil || status != http.StatusOK {
+		fmt.Fprintf(stderr, "fredd: swarm target %s not healthy (status %d, err %v)\n", cfg.BaseURL, status, err)
+		return 1
+	}
+
+	rep, err := serve.Swarm(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "fredd: swarm: %v\n", err)
+		return 1
+	}
+	if asJSON {
+		data, err := rep.EncodeJSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "fredd: encoding report: %v\n", err)
+			return 1
+		}
+		stdout.Write(data)
+	} else {
+		fmt.Fprintln(stdout, rep.String())
+	}
+	if rep.Collapsed() {
+		fmt.Fprintf(stderr, "fredd: SERVER COLLAPSED: %d transport errors, %d mismatches\n", rep.Errors, rep.Mismatches)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/wafernet/fred/internal/serve"
+)
+
+// freeAddr grabs an ephemeral port for an in-process daemon: bind
+// port 0 to learn a free port, release it, hand it to fredd.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitHealthy polls /healthz until the daemon answers.
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		status, _, err := serve.Probe(context.Background(), client, base+"/healthz")
+		if err == nil && status == http.StatusOK {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errBuf); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"positional"}, &out, &errBuf); code != 2 {
+		t.Fatalf("positional arg: exit %d, want 2", code)
+	}
+}
+
+// TestGracefulShutdownGolden is the satellite's golden test: SIGTERM
+// arriving mid-swarm makes the daemon drain — in-flight jobs finish,
+// new submissions are refused with 503, the process path exits 0 —
+// and no goroutines leak. Everything runs in-process: run() is the
+// same code path as the real binary, and the signal is a real SIGTERM
+// delivered to the process.
+func TestGracefulShutdownGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swarm is a long test")
+	}
+	baseline := runtime.NumGoroutine()
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	var out, errBuf bytes.Buffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{
+			"-addr", addr,
+			"-workers", "2",
+			"-queue", "8",
+			"-hazards",
+			"-drain-grace", "30s",
+		}, &out, &errBuf)
+	}()
+	waitHealthy(t, base)
+
+	// Pin the drain window open before the storm: a spin job admitted
+	// now (empty queue, free workers) is still running when the
+	// signal lands, so the daemon must spend that job's deadline
+	// draining — long enough to observe the 503 refusals and stop the
+	// swarm while the listener still answers.
+	var pin sync.WaitGroup
+	pin.Add(1)
+	var pinStatus int
+	go func() {
+		defer pin.Done()
+		body := strings.NewReader(`{"kind":"spin","seed":424242,"deadline_ms":3000}`)
+		resp, err := http.Post(base+"/v1/studies", "application/json", body)
+		if err == nil {
+			pinStatus = resp.StatusCode
+			resp.Body.Close()
+		}
+	}()
+	waitSeries(t, base, "serve/jobs_running", 1)
+
+	// A 100-job swarm in flight when the signal lands. The swarm gets
+	// its own context: once the daemon has exited, anything still
+	// unsent would hit a dead port, so the test cancels the remainder
+	// — cancellations are counted separately and are not collapses.
+	swarmCtx, swarmCancel := context.WithCancel(context.Background())
+	defer swarmCancel()
+	var wg sync.WaitGroup
+	var rep *serve.SwarmReport
+	var swarmErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep, swarmErr = serve.Swarm(swarmCtx, serve.SwarmConfig{
+			BaseURL:        base,
+			Clients:        16,
+			Requests:       100,
+			Seed:           5,
+			SpinDeadlineMS: 100,
+		})
+	}()
+
+	// Let the swarm bite, then deliver a real SIGTERM to ourselves.
+	waitSeries(t, base, "serve/admitted", 6)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// During the drain window new submissions must see 503, not a
+	// hang and not a crash. Best-effort observation: the window can
+	// close fast, so accept "refused because already exited" too —
+	// the deterministic 503 pin lives in the serve package tests.
+	drainClient := &http.Client{Timeout: time.Second}
+	saw503 := false
+	for i := 0; i < 200 && !saw503; i++ {
+		status, _, err := serve.Probe(context.Background(), drainClient, base+"/readyz")
+		if err != nil {
+			break // listener closed: daemon already exited
+		}
+		saw503 = status == http.StatusServiceUnavailable
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Stop the swarm while the listener is still answering (with
+	// 503s): everything after this point would race the listener
+	// closing and report dead-port noise as transport errors. The
+	// pinned spin job keeps the drain — and the listener — alive
+	// until the swarm has fully wound down.
+	swarmCancel()
+	wg.Wait()
+
+	// The pinned job must have been drained to completion, not
+	// dropped: its deadline fired and it was answered 504.
+	pin.Wait()
+	if pinStatus != http.StatusGatewayTimeout {
+		t.Fatalf("pinned in-flight job finished %d during drain, want 504", pinStatus)
+	}
+
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exited %d under SIGTERM, want 0\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if swarmErr != nil {
+		t.Fatal(swarmErr)
+	}
+	t.Logf("%s (readyz 503 observed during drain: %v)", rep, saw503)
+
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport errors across the shutdown — drain dropped connections", rep.Errors)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("%d body mismatches", rep.Mismatches)
+	}
+	terminal := rep.OK + rep.Panics + rep.Deadline + rep.Rejected + rep.GaveUp + rep.Errors + rep.Canceled
+	if terminal != rep.Requests {
+		t.Fatalf("terminal outcomes %d != %d requests: %s", terminal, rep.Requests, rep)
+	}
+	if !strings.Contains(out.String(), "draining") || !strings.Contains(out.String(), "drained, exiting") {
+		t.Fatalf("shutdown log incomplete:\n%s", out.String())
+	}
+
+	// The daemon is gone: the port no longer answers.
+	client := &http.Client{Timeout: time.Second}
+	if status, _, err := serve.Probe(context.Background(), client, base+"/healthz"); err == nil {
+		t.Fatalf("daemon still answering after exit (status %d)", status)
+	}
+	checkNoLeak(t, baseline)
+}
+
+// TestServerAndSwarmEndToEnd boots the daemon in-process, fires the
+// swarm CLI against it, and checks exit 0 plus a JSON report naming
+// zero collapses — the same sequence CI runs as a workflow step.
+func TestServerAndSwarmEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swarm is a long test")
+	}
+	addr := freeAddr(t)
+	base := "http://" + addr
+	var srvOut, srvErr bytes.Buffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", addr, "-workers", "2", "-queue", "8", "-hazards"}, &srvOut, &srvErr)
+	}()
+	waitHealthy(t, base)
+
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-swarm", "-hazards", "-json",
+		"-url", base,
+		"-requests", "200",
+		"-clients", "16",
+		"-seed", "12",
+		"-spin-deadline-ms", "100",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("swarm exited %d\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
+	}
+	var rep serve.SwarmReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("swarm -json output not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Requests != 200 || rep.OK == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exit %d\nstderr: %s", code, srvErr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit")
+	}
+}
+
+// TestSwarmAgainstDeadTarget pins the preflight: no server, exit 1.
+func TestSwarmAgainstDeadTarget(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-swarm", "-url", "http://127.0.0.1:1", "-requests", "1"}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit %d against a dead target, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "not healthy") {
+		t.Fatalf("stderr %q does not name the preflight failure", errBuf.String())
+	}
+}
+
+// waitSeries polls /metrics until the named serve/* series reaches n.
+func waitSeries(t *testing.T, base, name string, n float64) {
+	t.Helper()
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		_, body, err := serve.Probe(context.Background(), client, base+"/metrics")
+		if err == nil {
+			var artifact struct {
+				Series []struct {
+					Name  string  `json:"name"`
+					Value float64 `json:"value"`
+				} `json:"series"`
+			}
+			if json.Unmarshal(body, &artifact) == nil {
+				for _, s := range artifact.Series {
+					if s.Name == name && s.Value >= n {
+						return
+					}
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("daemon never reached %s >= %g", name, n)
+}
+
+// checkNoLeak asserts the goroutine count settles near the baseline
+// (manual polling — no leak-check dependency).
+func checkNoLeak(t *testing.T, baseline int) {
+	t.Helper()
+	const slack = 3
+	deadline := time.Now().Add(5 * time.Second)
+	var now int
+	for time.Now().Before(deadline) {
+		now = runtime.NumGoroutine()
+		if now <= baseline+slack {
+			return
+		}
+		runtime.GC()
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: baseline %d, now %d\n%s", baseline, now, string(buf[:n]))
+}

@@ -363,12 +363,18 @@ func (op *Op) Resume() {
 // RunToCompletionErr starts the schedule on an otherwise idle network,
 // drains the scheduler, and returns the elapsed time — or the op's
 // failure when a fault plan leaves the collective unroutable or aborts
-// one of its flows.
+// one of its flows. A scheduler whose bound context expired mid-run
+// (sim.Scheduler.BindContext) surfaces as the scheduler's
+// *sim.CanceledError: the op never completed and its partial state is
+// discarded.
 func RunToCompletionErr(net *netsim.Network, schedule Schedule) (sim.Time, error) {
 	start := net.Scheduler().Now()
 	var end sim.Time
 	op := Start(net, schedule, func(op *Op) { end = op.Finished() })
 	net.Scheduler().Run()
+	if err := net.Scheduler().Err(); err != nil {
+		return 0, err
+	}
 	if err := op.Err(); err != nil {
 		return 0, err
 	}
@@ -386,6 +392,9 @@ func RunToCompletionBlame(net *netsim.Network, schedule Schedule) (sim.Time, cri
 	var end sim.Time
 	op := Start(net, schedule, func(op *Op) { end = op.Finished() })
 	net.Scheduler().Run()
+	if err := net.Scheduler().Err(); err != nil {
+		return 0, op.blame, err
+	}
 	if err := op.Err(); err != nil {
 		return 0, op.blame, err
 	}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/wafernet/fred/internal/sim"
+	"github.com/wafernet/fred/internal/workload"
+)
+
+// TestSessionContextCancelsTraining pins the deadline plumbing fredd
+// relies on: a session bound to an already-expired context refuses to
+// simulate — RunTraining returns an error matching sim.ErrCanceled
+// instead of a report, and the cell's partial state is discarded.
+func TestSessionContextCancelsTraining(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expire before the run starts
+	s := NewSession()
+	s.SetContext(ctx)
+	m := workload.Transformer17B()
+	r, err := s.RunTraining(FredD, m, defaultStrategy(m), 16)
+	if err == nil {
+		t.Fatalf("RunTraining returned a report (%v) under a canceled context", r)
+	}
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("err = %v, want sim.ErrCanceled", err)
+	}
+}
+
+// TestSessionContextDeadlineAborts pins that a deadline expiring
+// mid-simulation aborts it: with a deadline far shorter than the
+// simulated work's wall time, the run returns canceled rather than
+// completing.
+func TestSessionContextDeadlineAborts(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	// Let the deadline actually pass so the very first poll trips.
+	time.Sleep(time.Millisecond)
+	s := NewSession()
+	s.SetContext(ctx)
+	m := workload.GPT3()
+	if _, err := s.RunTraining(FredD, m, defaultStrategy(m), 16); !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("err = %v, want sim.ErrCanceled", err)
+	}
+}
+
+// TestSessionContextHealthy pins that binding a live context does not
+// perturb results: same report totals with and without the binding.
+func TestSessionContextHealthy(t *testing.T) {
+	m := workload.Transformer17B()
+	base, err := NewSession().RunTraining(FredD, m, defaultStrategy(m), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession()
+	s.SetContext(context.Background())
+	got, err := s.RunTraining(FredD, m, defaultStrategy(m), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != base.Total {
+		t.Fatalf("bound-context total %g != unbound total %g", got.Total, base.Total)
+	}
+}

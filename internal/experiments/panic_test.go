@@ -67,6 +67,39 @@ func TestForEachAggregatesMultiplePanics(t *testing.T) {
 	}
 }
 
+// explodeForStackTest panics from a named function so the captured
+// stack can be asserted to contain the panic site's frame.
+func explodeForStackTest() {
+	panic("stack capture boom")
+}
+
+func TestCellErrorCapturesGoroutineStack(t *testing.T) {
+	for _, parallel := range []int{1, 4} {
+		s := NewSession()
+		s.SetParallel(parallel)
+		s.forEach("StackStudy", 4, func(i int, cs *Session) {
+			if i == 1 {
+				explodeForStackTest()
+			}
+		})
+		err := s.Err()
+		ce, ok := err.(*CellError)
+		if !ok {
+			t.Fatalf("parallel=%d: err type %T, want *CellError", parallel, err)
+		}
+		if ce.Stack == "" {
+			t.Fatalf("parallel=%d: CellError.Stack empty — only the panic value survived", parallel)
+		}
+		if !strings.Contains(ce.Stack, "explodeForStackTest") {
+			t.Fatalf("parallel=%d: stack missing the panic site frame:\n%s", parallel, ce.Stack)
+		}
+		// The stack must be reported, not just stored: Error() carries it.
+		if !strings.Contains(ce.Error(), "explodeForStackTest") {
+			t.Fatalf("parallel=%d: Error() does not report the stack", parallel)
+		}
+	}
+}
+
 func TestSessionErrNilOnCleanRun(t *testing.T) {
 	s := NewSession()
 	s.SetParallel(2)

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"github.com/wafernet/fred/internal/collective"
@@ -51,6 +53,14 @@ type Session struct {
 	progress *obs.Engine
 	cellTok  *obs.Cell
 
+	// ctx, when non-nil, is threaded into every subsequently built
+	// simulation: each fresh scheduler polls it between events
+	// (sim.Scheduler.BindContext), so a deadline or cancellation
+	// aborts runaway cells cleanly — RunTraining and the collective
+	// runners return sim.ErrCanceled instead of running forever.
+	// Child sessions inherit it.
+	ctx context.Context
+
 	// schedCache shares compiled healthy-fabric collective schedules
 	// across every cell the session runs: the first cell to need an
 	// all-reduce on a given system compiles it once, and every later
@@ -73,15 +83,25 @@ type Session struct {
 }
 
 // CellError reports a panic recovered from one experiment cell: the
-// study driver it belonged to, the cell index, and the panic value.
+// study driver it belonged to, the cell index, the panic value, and
+// the goroutine stack captured at the recovery point — without it a
+// recovered panic loses the one thing needed to debug it.
 type CellError struct {
 	Study string
 	Cell  int
 	Value interface{}
+	// Stack is the panicking goroutine's stack (runtime/debug.Stack),
+	// captured inside the deferred recover so the panic site frames
+	// are still on it.
+	Stack string
 }
 
 func (e *CellError) Error() string {
-	return fmt.Sprintf("experiments: %s: cell %d panicked: %v", e.Study, e.Cell, e.Value)
+	msg := fmt.Sprintf("experiments: %s: cell %d panicked: %v", e.Study, e.Cell, e.Value)
+	if e.Stack != "" {
+		msg += "\n" + e.Stack
+	}
+	return msg
 }
 
 // addErr records a cell failure on the session.
@@ -227,6 +247,23 @@ func (s *Session) TimeseriesCells() []timeseries.Cell { return s.tsColl.Cells() 
 // snapshots via a throttled scheduler hook. Pass nil to detach.
 func (s *Session) SetProgress(e *obs.Engine) { s.progress = e }
 
+// SetContext threads ctx into every simulation the session
+// subsequently builds: each fresh scheduler polls the context between
+// events (sim.Scheduler.BindContext), so canceling it — or letting
+// its deadline expire — aborts even a runaway cell cleanly.
+// RunTraining then returns an error matching sim.ErrCanceled instead
+// of a report. Pass nil to detach. The long-running fredd daemon uses
+// this for per-job deadlines; the batch drivers leave it unset.
+func (s *Session) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// ObserveCell attaches an externally managed progress-cell handle:
+// every network the session subsequently builds pushes its simulated
+// clock into it via a throttled scheduler hook, exactly as forEach
+// wires its own cells. fredd uses this to stream per-job progress
+// through the obs engine without going through forEach. Pass nil to
+// detach.
+func (s *Session) ObserveCell(tok *obs.Cell) { s.cellTok = tok }
+
 // workers resolves the effective pool size.
 func (s *Session) workers() int {
 	if s.tracer != nil {
@@ -267,7 +304,7 @@ func (s *Session) forEach(study string, n int, fn func(cell int, cs *Session)) {
 		defer func() {
 			failed := false
 			if r := recover(); r != nil {
-				s.addErr(&CellError{Study: study, Cell: i, Value: r})
+				s.addErr(&CellError{Study: study, Cell: i, Value: r, Stack: string(debug.Stack())})
 				failed = true
 			}
 			cs.cellTok = nil
@@ -300,6 +337,7 @@ func (s *Session) forEach(study string, n int, fn func(cell int, cs *Session)) {
 		c.collectTS = s.collectTS
 		c.parallel = 1
 		c.schedCache = s.schedCache
+		c.ctx = s.ctx
 		children[i] = c
 		slots[i] = s.linkTables.Reserve()
 		mslots[i] = s.metricsColl.Reserve()
@@ -335,6 +373,9 @@ func (s *Session) forEach(study string, n int, fn func(cell int, cs *Session)) {
 // namespace so the many runs of one experiment, whose simulated clocks
 // all start at zero, stay distinguishable in the merged trace.
 func (s *Session) observeNetwork(net *netsim.Network, system System) {
+	if s.ctx != nil {
+		net.Scheduler().BindContext(s.ctx, 0)
+	}
 	if s.tracer != nil {
 		s.mu.Lock()
 		s.buildSeq++

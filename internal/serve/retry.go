@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes bounded exponential retry delays with seeded
+// jitter. It is the client-side half of the server's load-shedding
+// contract: a 429 or 503 means "come back later", and the backoff
+// spreads the retries out so the thundering herd does not re-form on
+// the same tick.
+//
+// The schedule for attempt n (0-based) is Base·Factor^n, clamped to
+// Max, then jittered downward by up to Jitter·delay. Jitter is
+// subtractive on purpose: Max stays a hard upper bound on any delay
+// the schedule can produce.
+type Backoff struct {
+	// Base is the attempt-0 delay (default 50ms).
+	Base time.Duration
+	// Factor multiplies the delay each attempt (default 2).
+	Factor float64
+	// Max caps the delay; no jittered or un-jittered delay exceeds it
+	// (default 2s).
+	Max time.Duration
+	// Jitter in [0,1] is the maximum fraction subtracted at random
+	// (default 0.5). Zero disables jitter, making Delay deterministic.
+	Jitter float64
+	// Attempts bounds the retry loop for Retry (default 8).
+	Attempts int
+
+	rng *rand.Rand
+}
+
+// NewBackoff returns the default schedule with jitter drawn from the
+// given seed — the same seed replays the same delays, which is what
+// lets the swarm driver be deterministic end to end.
+func NewBackoff(seed int64) *Backoff {
+	return &Backoff{
+		Base:     50 * time.Millisecond,
+		Factor:   2,
+		Max:      2 * time.Second,
+		Jitter:   0.5,
+		Attempts: 8,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (b *Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 50 * time.Millisecond
+}
+
+func (b *Backoff) factor() float64 {
+	if b.Factor > 1 {
+		return b.Factor
+	}
+	return 2
+}
+
+func (b *Backoff) max() time.Duration {
+	if b.Max > 0 {
+		return b.Max
+	}
+	return 2 * time.Second
+}
+
+func (b *Backoff) attempts() int {
+	if b.Attempts > 0 {
+		return b.Attempts
+	}
+	return 8
+}
+
+// Delay returns the jittered delay before retry attempt n (0-based).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := float64(b.base())
+	f := b.factor()
+	m := float64(b.max())
+	for i := 0; i < attempt && d < m; i++ {
+		d *= f
+	}
+	if d > m {
+		d = m
+	}
+	if b.Jitter > 0 && b.rng != nil {
+		j := b.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d -= j * d * b.rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Retriable reports whether an HTTP status is worth retrying under
+// this schedule: 429 (shed) and 503 (draining or overloaded) are the
+// two statuses the server uses to mean "later", everything else is a
+// final answer.
+func Retriable(status int) bool {
+	return status == 429 || status == 503
+}
+
+// Retry runs fn until it succeeds, returns a non-retriable outcome,
+// or the attempt budget is spent. fn reports (retriable, err); sleep
+// is injectable so tests can run the schedule on a fake clock. A nil
+// sleep uses a context-aware real-time wait.
+func (b *Backoff) Retry(ctx context.Context, sleep func(time.Duration), fn func(attempt int) (retriable bool, err error)) error {
+	if sleep == nil {
+		sleep = func(d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
+		}
+	}
+	var err error
+	var again bool
+	for attempt := 0; attempt < b.attempts(); attempt++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		again, err = fn(attempt)
+		if err == nil || !again {
+			return err
+		}
+		if attempt+1 < b.attempts() {
+			sleep(b.Delay(attempt))
+		}
+	}
+	return err
+}

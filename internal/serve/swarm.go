@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SwarmConfig shapes the seeded load-driver: how many concurrent
+// clients fire how many mixed requests at which server. The mix
+// fractions steer requests toward the four traffic classes; whatever
+// fraction remains after hot/poison/spin goes to cold studies.
+type SwarmConfig struct {
+	// BaseURL of the fredd under test, e.g. http://127.0.0.1:8080.
+	BaseURL string
+	// Clients is the number of concurrent request loops (default 32).
+	Clients int
+	// Requests is the total request budget across clients (default 1000).
+	Requests int
+	// Seed makes the whole swarm replayable: traffic mix, payload
+	// variation and backoff jitter all derive from it.
+	Seed int64
+	// HotFraction of requests re-submit one shared study — the
+	// cache-hit and single-flight-dedup pressure (default 0.5).
+	HotFraction float64
+	// PoisonFraction submits jobs that panic server-side (default
+	// 0.05). Requires the server to run with hazards enabled.
+	PoisonFraction float64
+	// SpinFraction submits runaway jobs with a tight deadline that
+	// only cooperative cancellation can stop (default 0.05).
+	SpinFraction float64
+	// ColdKeys bounds how many distinct cold configurations the swarm
+	// cycles through (default 64) — enough to defeat the cache without
+	// making every cold request a fresh simulation.
+	ColdKeys int
+	// SpinDeadlineMS is the deadline given to spin jobs (default 150).
+	SpinDeadlineMS int
+	// RequestTimeout bounds one HTTP round trip (default 30s).
+	RequestTimeout time.Duration
+	// Out, when non-nil, receives a one-line progress pulse per 100
+	// completed requests.
+	Out io.Writer
+}
+
+// SwarmReport is what the swarm proved. The caller turns it into a
+// verdict; the driver only counts.
+type SwarmReport struct {
+	Requests int `json:"requests"` // issued (after retries collapsed)
+	OK       int `json:"ok"`       // 200 bodies
+	Shed     int `json:"shed"`     // 429 responses observed (pre-retry)
+	Unavail  int `json:"unavailable"`
+	Panics   int `json:"panics"`    // 500s from poison jobs
+	Deadline int `json:"deadlines"` // 504s from spin/deadline busts
+	Rejected int `json:"rejected"`  // 4xx terminal rejections
+	Errors   int `json:"errors"`    // transport failures
+	Canceled int `json:"canceled"`  // swarm context aborted the request
+
+	CacheHits   int `json:"cache_hits"` // X-Fredd-Cache: hit
+	CacheMisses int `json:"cache_misses"`
+	Retries     int `json:"retries"` // backoff sleeps taken
+	GaveUp      int `json:"gave_up"` // retry budget exhausted while shed
+
+	// Mismatches counts responses whose body differed from an earlier
+	// 200 for the same config key — must be zero: determinism plus the
+	// exact cache guarantee byte-identical bodies.
+	Mismatches int           `json:"mismatches"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+}
+
+// EncodeJSON renders the report for machine consumers (CI gates).
+func (r *SwarmReport) EncodeJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Collapsed reports whether the server failed the robustness bar:
+// any transport error or body mismatch means it fell over or lied.
+func (r *SwarmReport) Collapsed() bool { return r.Errors > 0 || r.Mismatches > 0 }
+
+func (r *SwarmReport) String() string {
+	return fmt.Sprintf("swarm: %d requests in %v — %d ok (%d cache hits), %d shed→retried (%d retries, %d gave up), %d panics isolated, %d deadline kills, %d rejected, %d unavailable, %d canceled, %d transport errors, %d mismatches",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.OK, r.CacheHits, r.Shed, r.Retries, r.GaveUp,
+		r.Panics, r.Deadline, r.Rejected, r.Unavail, r.Canceled, r.Errors, r.Mismatches)
+}
+
+// swarmState is the shared cross-client tally.
+type swarmState struct {
+	mu     sync.Mutex
+	rep    SwarmReport
+	bodies map[string]uint64 // config key → FNV-1a of first 200 body
+	done   int
+	out    io.Writer
+}
+
+func (st *swarmState) observeBody(key string, body []byte) {
+	h := fnv.New64a()
+	h.Write(body)
+	sum := h.Sum64()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if prev, ok := st.bodies[key]; ok {
+		if prev != sum {
+			st.rep.Mismatches++
+		}
+		return
+	}
+	st.bodies[key] = sum
+}
+
+func (st *swarmState) pulse() {
+	st.mu.Lock()
+	st.done++
+	done := st.done
+	st.mu.Unlock()
+	if st.out != nil && done%100 == 0 {
+		fmt.Fprintf(st.out, "swarm: %d requests done\n", done)
+	}
+}
+
+// recipe is one planned request: the study plus its expected terminal
+// statuses (anything else is a protocol violation worth counting).
+type recipe struct {
+	req  StudyRequest
+	kind string // hot | cold | poison | spin
+}
+
+// plan deterministically expands the config into per-request recipes.
+// Request i's class and payload depend only on (Seed, i), so two runs
+// of the same swarm submit the same traffic in the same per-client
+// order.
+func (c *SwarmConfig) plan() []recipe {
+	rng := rand.New(rand.NewSource(c.Seed))
+	recipes := make([]recipe, c.Requests)
+	for i := range recipes {
+		roll := rng.Float64()
+		switch {
+		case roll < c.HotFraction:
+			recipes[i] = recipe{kind: "hot", req: StudyRequest{
+				Kind:  KindAllReduce,
+				Bytes: 1 << 20,
+				Seed:  1, // one shared config: maximal cache/dedup pressure
+			}}
+		case roll < c.HotFraction+c.PoisonFraction:
+			recipes[i] = recipe{kind: "poison", req: StudyRequest{
+				Kind: KindPoison,
+				Seed: int64(i), // unique: never cached, always re-runs
+			}}
+		case roll < c.HotFraction+c.PoisonFraction+c.SpinFraction:
+			recipes[i] = recipe{kind: "spin", req: StudyRequest{
+				Kind:       KindSpin,
+				Seed:       int64(i),
+				DeadlineMS: c.SpinDeadlineMS,
+			}}
+		default:
+			recipes[i] = recipe{kind: "cold", req: StudyRequest{
+				Kind:  KindAllReduce,
+				Bytes: float64(64 << 10),
+				Seed:  100 + int64(rng.Intn(c.ColdKeys)),
+			}}
+		}
+	}
+	return recipes
+}
+
+func (c *SwarmConfig) normalize() {
+	if c.Clients <= 0 {
+		c.Clients = 32
+	}
+	if c.Requests <= 0 {
+		c.Requests = 1000
+	}
+	if c.HotFraction <= 0 {
+		c.HotFraction = 0.5
+	}
+	if c.PoisonFraction < 0 {
+		c.PoisonFraction = 0
+	} else if c.PoisonFraction == 0 {
+		c.PoisonFraction = 0.05
+	}
+	if c.SpinFraction < 0 {
+		c.SpinFraction = 0
+	} else if c.SpinFraction == 0 {
+		c.SpinFraction = 0.05
+	}
+	if c.ColdKeys <= 0 {
+		c.ColdKeys = 64
+	}
+	if c.SpinDeadlineMS <= 0 {
+		c.SpinDeadlineMS = 150
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+}
+
+// Swarm runs the load-driver to completion and reports what the
+// server did under fire. It never fails fast: every request runs to a
+// terminal outcome (or transport error) so the report covers the full
+// planned load.
+func Swarm(ctx context.Context, cfg SwarmConfig) (*SwarmReport, error) {
+	cfg.normalize()
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("swarm: BaseURL required")
+	}
+	recipes := cfg.plan()
+	st := &swarmState{bodies: make(map[string]uint64), out: cfg.Out}
+	client := &http.Client{Timeout: cfg.RequestTimeout}
+
+	// Clients strided over the plan: client k takes requests k,
+	// k+Clients, … — deterministic assignment, concurrent execution.
+	var wg sync.WaitGroup
+	start := time.Now()
+	for k := 0; k < cfg.Clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			bo := NewBackoff(cfg.Seed + int64(k))
+			for i := k; i < len(recipes); i += cfg.Clients {
+				cfg.fire(ctx, client, bo, st, &recipes[i])
+				st.pulse()
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	st.mu.Lock()
+	rep := st.rep
+	st.mu.Unlock()
+	rep.Requests = len(recipes)
+	rep.Elapsed = time.Since(start)
+	return &rep, nil
+}
+
+// fire pushes one recipe to its terminal outcome, retrying shed and
+// unavailable responses on the client's backoff schedule.
+func (c *SwarmConfig) fire(ctx context.Context, client *http.Client, bo *Backoff, st *swarmState, rc *recipe) {
+	payload, err := json.Marshal(&rc.req)
+	if err != nil {
+		st.mu.Lock()
+		st.rep.Errors++
+		st.mu.Unlock()
+		return
+	}
+	// The client knows the config key too (same canonicalization), so
+	// it can hold the server to byte-identical bodies per key.
+	keyed := rc.req // Normalize mutates; keep the wire payload pristine
+	var key string
+	if keyed.Normalize(true) == nil {
+		key = keyed.Key()
+	}
+
+	sleep := func(d time.Duration) {
+		st.mu.Lock()
+		st.rep.Retries++
+		st.mu.Unlock()
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+	var lastStatus int
+	err = bo.Retry(ctx, sleep, func(int) (bool, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/studies", bytes.NewReader(payload))
+		if err != nil {
+			return false, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return false, ctx.Err()
+			}
+			return false, err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if err != nil {
+			return false, err
+		}
+		lastStatus = resp.StatusCode
+		st.mu.Lock()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			st.rep.OK++
+			if resp.Header.Get("X-Fredd-Cache") == "hit" {
+				st.rep.CacheHits++
+			} else {
+				st.rep.CacheMisses++
+			}
+		case http.StatusTooManyRequests:
+			st.rep.Shed++
+		case http.StatusServiceUnavailable:
+			st.rep.Unavail++
+		case http.StatusInternalServerError:
+			st.rep.Panics++
+		case http.StatusGatewayTimeout:
+			st.rep.Deadline++
+		default:
+			st.rep.Rejected++
+		}
+		st.mu.Unlock()
+		if resp.StatusCode == http.StatusOK && key != "" {
+			st.observeBody(key, body)
+		}
+		if Retriable(resp.StatusCode) {
+			return true, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return false, nil
+	})
+	if err != nil {
+		st.mu.Lock()
+		switch {
+		case ctx.Err() != nil:
+			// The swarm itself was told to stop — not a server
+			// failure, and excluded from the collapse verdict.
+			st.rep.Canceled++
+		case Retriable(lastStatus):
+			st.rep.GaveUp++ // shed to the end: the server said no, correctly
+		default:
+			st.rep.Errors++
+		}
+		st.mu.Unlock()
+	}
+}
+
+// Probe fetches a single endpoint and returns status + body — the
+// driver's healthcheck helper (used by fredd -swarm before the run).
+func Probe(ctx context.Context, client *http.Client, url string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	return resp.StatusCode, body, err
+}

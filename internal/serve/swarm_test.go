@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSwarmThousandMixedRequests is the headline robustness proof:
+// a deliberately under-provisioned server (2 workers, shallow queue)
+// takes 1000+ concurrent mixed requests — hot cache hits, cold
+// studies, poison jobs that panic, spin jobs that bust their deadline
+// — and must shed load instead of collapsing: zero transport errors,
+// zero body mismatches, zero goroutine leaks, and every request
+// answered with a terminal status.
+func TestSwarmThousandMixedRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swarm is a long test")
+	}
+	baseline := runtime.NumGoroutine()
+
+	s := NewServer(Config{
+		Workers:         2,
+		QueueDepth:      8,
+		Hazards:         true,
+		DefaultDeadline: 10 * time.Second,
+	})
+	ts := httptest.NewServer(s)
+
+	rep, err := Swarm(context.Background(), SwarmConfig{
+		BaseURL:        ts.URL,
+		Clients:        64,
+		Requests:       1000,
+		Seed:           2024,
+		SpinDeadlineMS: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.String())
+
+	if rep.Collapsed() {
+		t.Fatalf("server collapsed under swarm: %s", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport errors — the server dropped connections", rep.Errors)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("%d body mismatches — determinism or cache broke", rep.Mismatches)
+	}
+	if rep.OK == 0 {
+		t.Fatal("no request succeeded")
+	}
+	if rep.CacheHits == 0 {
+		t.Fatal("hot traffic produced no cache hits")
+	}
+	if rep.Panics == 0 {
+		t.Fatal("poison jobs produced no isolated 500s — hazards not exercised")
+	}
+	if rep.Deadline == 0 {
+		t.Fatal("spin jobs produced no 504s — deadlines not exercised")
+	}
+	// Accounting closes: every planned request reached exactly one
+	// terminal outcome.
+	terminal := rep.OK + rep.Panics + rep.Deadline + rep.Rejected + rep.GaveUp + rep.Errors
+	if terminal != rep.Requests {
+		t.Fatalf("terminal outcomes %d != %d requests (ok=%d panics=%d deadline=%d rejected=%d gaveup=%d errors=%d)",
+			terminal, rep.Requests, rep.OK, rep.Panics, rep.Deadline, rep.Rejected, rep.GaveUp, rep.Errors)
+	}
+
+	// The server is drained, not abandoned: all workers exit, nothing
+	// leaks.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("post-swarm drain: %v", err)
+	}
+	ts.Close()
+	checkNoGoroutineLeak(t, baseline)
+}
+
+// TestSwarmShedsUnderOverload pins the overload half of the CI
+// contract: with one worker, a one-slot queue and spin jobs pinning
+// the pool, the swarm must observe real 429s — the server refuses
+// work explicitly rather than queueing it into a timeout.
+func TestSwarmShedsUnderOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swarm is a long test")
+	}
+	s := NewServer(Config{Workers: 1, QueueDepth: 1, Hazards: true})
+	ts := httptest.NewServer(s)
+	defer func() { ts.Close(); s.Close() }()
+
+	rep, err := Swarm(context.Background(), SwarmConfig{
+		BaseURL:  ts.URL,
+		Clients:  32,
+		Requests: 200,
+		Seed:     7,
+		// All spin: every job holds the single worker for its full
+		// deadline, so concurrent submissions must overflow the queue.
+		HotFraction:    0.0001,
+		PoisonFraction: 0.0001,
+		SpinFraction:   0.99,
+		SpinDeadlineMS: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.String())
+	if rep.Shed == 0 {
+		t.Fatal("overloaded server shed nothing — queue is not bounded or not shedding")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport errors under overload", rep.Errors)
+	}
+	if shed := s.met.value(s.met.shed); shed == 0 {
+		t.Fatal("serve/shed metric still zero")
+	}
+}
+
+// TestSwarmZeroShedAtLowLoad pins the other half: a well-provisioned
+// server under gentle, hazard-free load sheds nothing and everything
+// succeeds.
+func TestSwarmZeroShedAtLowLoad(t *testing.T) {
+	s := NewServer(Config{Workers: 4, QueueDepth: 64})
+	ts := httptest.NewServer(s)
+	defer func() { ts.Close(); s.Close() }()
+
+	rep, err := Swarm(context.Background(), SwarmConfig{
+		BaseURL:        ts.URL,
+		Clients:        4,
+		Requests:       100,
+		Seed:           11,
+		HotFraction:    0.7,
+		PoisonFraction: -1, // negative disables the class
+		SpinFraction:   -1,
+		ColdKeys:       8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.String())
+	if rep.Shed != 0 {
+		t.Fatalf("low load shed %d requests", rep.Shed)
+	}
+	if rep.OK != rep.Requests {
+		t.Fatalf("%d/%d requests succeeded at low load: %s", rep.OK, rep.Requests, rep)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("%d mismatches", rep.Mismatches)
+	}
+}
+
+// TestSwarmPlanDeterministic pins that the same seed plans the same
+// traffic — class sequence and payloads — so a swarm failure
+// reproduces exactly.
+func TestSwarmPlanDeterministic(t *testing.T) {
+	mk := func() []recipe {
+		c := SwarmConfig{Requests: 500, Seed: 99}
+		c.normalize()
+		return c.plan()
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("plans differ in length: %d vs %d", len(a), len(b))
+	}
+	classes := map[string]int{}
+	for i := range a {
+		if a[i].kind != b[i].kind || a[i].req != b[i].req {
+			t.Fatalf("plan diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		classes[a[i].kind]++
+	}
+	for _, kind := range []string{"hot", "cold", "poison", "spin"} {
+		if classes[kind] == 0 {
+			t.Fatalf("plan has no %s traffic: %v", kind, classes)
+		}
+	}
+}
+
+// TestSwarmDuringDrain pins the SIGTERM path at the library level: a
+// drain that starts mid-swarm lets running jobs finish and answers
+// new submissions 503; the swarm keeps its accounting closed and the
+// server exits clean.
+func TestSwarmDuringDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swarm is a long test")
+	}
+	baseline := runtime.NumGoroutine()
+	s := NewServer(Config{Workers: 2, QueueDepth: 8, Hazards: true})
+	ts := httptest.NewServer(s)
+
+	var wg sync.WaitGroup
+	var rep *SwarmReport
+	var swarmErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep, swarmErr = Swarm(context.Background(), SwarmConfig{
+			BaseURL:        ts.URL,
+			Clients:        16,
+			Requests:       100,
+			Seed:           3,
+			SpinDeadlineMS: 100,
+		})
+	}()
+
+	// Let the swarm get some jobs in flight, then pull the plug.
+	waitFor(t, 5*time.Second, func() bool { return s.met.value(s.met.admitted) >= 5 })
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain mid-swarm: %v", err)
+	}
+	wg.Wait()
+	if swarmErr != nil {
+		t.Fatal(swarmErr)
+	}
+	t.Log(rep.String())
+
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport errors across the drain", rep.Errors)
+	}
+	if rep.Unavail == 0 {
+		t.Fatal("no request observed the 503 drain refusal")
+	}
+	// 503s during drain are terminal after retries: they surface as
+	// GaveUp. Accounting still closes.
+	terminal := rep.OK + rep.Panics + rep.Deadline + rep.Rejected + rep.GaveUp + rep.Errors
+	if terminal != rep.Requests {
+		t.Fatalf("terminal outcomes %d != %d requests: %s", terminal, rep.Requests, rep)
+	}
+
+	ts.Close()
+	checkNoGoroutineLeak(t, baseline)
+}
+
+// TestProbe pins the helper the fredd -swarm preflight uses.
+func TestProbe(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	status, body, err := Probe(context.Background(), http.DefaultClient, ts.URL+"/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || len(body) == 0 {
+		t.Fatalf("probe: status %d body %q", status, body)
+	}
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestBindContextCancelStopsRun pins the cooperative-cancellation
+// contract: a self-perpetuating event chain — the shape of a runaway
+// cell — stops within one check interval of the context being
+// canceled, Run returns, and Err reports a typed *CanceledError.
+func TestBindContextCancelStopsRun(t *testing.T) {
+	s := NewScheduler()
+	ctx, cancel := context.WithCancel(context.Background())
+	s.BindContext(ctx, 64)
+
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired == 100 {
+			cancel()
+		}
+		s.After(1e-9, tick)
+	}
+	s.After(0, tick)
+	s.Run()
+
+	err := s.Err()
+	if err == nil {
+		t.Fatal("Err() = nil after canceled run")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("errors.Is(err, ErrCanceled) = false for %v", err)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err type %T, want *CanceledError", err)
+	}
+	if ce.Cause != context.Canceled {
+		t.Fatalf("Cause = %v, want context.Canceled", ce.Cause)
+	}
+	// The chain must have stopped within one check interval of the
+	// cancel (fired == 100), not run to some other limit.
+	if fired < 100 || fired > 100+64 {
+		t.Fatalf("fired %d events, want within one 64-event check interval of 100", fired)
+	}
+	if ce.Fired != s.Fired() {
+		t.Fatalf("CanceledError.Fired = %d, scheduler fired %d", ce.Fired, s.Fired())
+	}
+	// Sticky: the queue still holds the next tick, but no further
+	// event may execute.
+	if s.Pending() == 0 {
+		t.Fatal("expected the runaway chain's next event still queued")
+	}
+	if s.Step() {
+		t.Fatal("Step() executed an event on a canceled scheduler")
+	}
+}
+
+// TestBindContextRunUntil pins that RunUntil stops early on
+// cancellation and leaves the clock at the last executed event rather
+// than advancing to the deadline.
+func TestBindContextRunUntil(t *testing.T) {
+	s := NewScheduler()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.BindContext(ctx, 1)
+
+	ran := 0
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(float64(i), func() {
+			ran++
+			if i == 4 {
+				cancel()
+			}
+		})
+	}
+	end := s.RunUntil(100)
+	if !errors.Is(s.Err(), ErrCanceled) {
+		t.Fatalf("Err() = %v, want ErrCanceled", s.Err())
+	}
+	if ran != 5 {
+		t.Fatalf("ran %d events, want 5 (cancel observed before the 6th)", ran)
+	}
+	if end != 4 {
+		t.Fatalf("RunUntil returned %g, want the halting event's time 4", end)
+	}
+}
+
+// TestBindContextHealthyRun pins that an unexpired context never
+// perturbs a run: same events, nil Err.
+func TestBindContextHealthyRun(t *testing.T) {
+	s := NewScheduler()
+	s.BindContext(context.Background(), 1)
+	ran := 0
+	for i := 0; i < 100; i++ {
+		s.At(float64(i), func() { ran++ })
+	}
+	s.Run()
+	if ran != 100 {
+		t.Fatalf("ran %d events, want 100", ran)
+	}
+	if s.Err() != nil {
+		t.Fatalf("Err() = %v on a healthy run", s.Err())
+	}
+}
+
+// TestBindContextDefaultInterval pins that checkEvery ≤ 0 selects the
+// documented default rather than polling every event.
+func TestBindContextDefaultInterval(t *testing.T) {
+	s := NewScheduler()
+	s.BindContext(context.Background(), 0)
+	if s.ctxEvery != DefaultCancelCheckEvery {
+		t.Fatalf("ctxEvery = %d, want %d", s.ctxEvery, DefaultCancelCheckEvery)
+	}
+}

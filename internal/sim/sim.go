@@ -13,12 +13,50 @@ package sim
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"math"
 )
 
 // Time is a point on the simulated timeline, in seconds.
 type Time = float64
+
+// ErrCanceled is the sentinel matched by errors.Is when a run stopped
+// because its bound context was canceled or its deadline expired. The
+// concrete error is always a *CanceledError carrying the simulated
+// clock and event count at the stop.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// CanceledError reports a cooperative cancellation: the scheduler
+// observed its bound context done and stopped between events. It
+// matches ErrCanceled with errors.Is and unwraps to the context's
+// error (context.Canceled or context.DeadlineExceeded).
+type CanceledError struct {
+	// At is the simulated clock when the cancellation was observed.
+	At Time
+	// Fired is the number of events executed before stopping.
+	Fired uint64
+	// Cause is the bound context's error.
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: run canceled at t=%g after %d events: %v", float64(e.At), e.Fired, e.Cause)
+}
+
+// Is matches ErrCanceled.
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
+
+// Unwrap returns the context error that triggered the cancellation.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// DefaultCancelCheckEvery is how many events elapse between context
+// polls when BindContext is called with checkEvery ≤ 0: frequent
+// enough that a runaway simulation stops within microseconds of its
+// deadline, rare enough that the hot event loop pays one predictable
+// branch per event and an atomic context read only every 4096th.
+const DefaultCancelCheckEvery = 4096
 
 // Infinity is a time later than any event the simulators schedule.
 const Infinity Time = math.MaxFloat64
@@ -97,7 +135,37 @@ type Scheduler struct {
 	causal   bool
 	current  *Event // event whose callback is executing
 	maxDepth uint32
+
+	// Cooperative cancellation (BindContext): the bound context is
+	// polled every ctxEvery fired events; once done, the scheduler
+	// halts between events and Err reports a *CanceledError. Sticky —
+	// a canceled scheduler never executes another event.
+	ctx      context.Context
+	ctxEvery uint64
+	ctxErr   error
 }
+
+// BindContext installs cooperative cancellation: Step (and therefore
+// Run and RunUntil) polls ctx every checkEvery fired events and, once
+// the context is done, stops between events, leaving the clock at the
+// last executed event. checkEvery ≤ 0 selects
+// DefaultCancelCheckEvery. Cancellation is sticky: after it trips,
+// Step returns false forever and Err reports the cancellation, so a
+// runaway or hung simulation can be aborted cleanly without killing
+// the process. A nil ctx removes the binding.
+func (s *Scheduler) BindContext(ctx context.Context, checkEvery int) {
+	s.ctx = ctx
+	if checkEvery <= 0 {
+		checkEvery = DefaultCancelCheckEvery
+	}
+	s.ctxEvery = uint64(checkEvery)
+}
+
+// Err reports how the scheduler was canceled: nil while healthy, a
+// *CanceledError (matching ErrCanceled via errors.Is) once the bound
+// context tripped. Drivers check it after Run/RunUntil returns — the
+// simulated state at that point is mid-flight and must be discarded.
+func (s *Scheduler) Err() error { return s.ctxErr }
 
 // EnableCausalTracking turns on event-causality depth tracking: every
 // event scheduled from inside another event's callback records a depth
@@ -238,6 +306,19 @@ func (s *Scheduler) Cancel(e *Event) {
 func (s *Scheduler) Step() bool {
 	if len(s.queue) == 0 {
 		return false
+	}
+	if s.ctx != nil {
+		if s.ctxErr != nil {
+			s.halted = true
+			return false
+		}
+		if s.fired%s.ctxEvery == 0 {
+			if cause := s.ctx.Err(); cause != nil {
+				s.ctxErr = &CanceledError{At: s.now, Fired: s.fired, Cause: cause}
+				s.halted = true
+				return false
+			}
+		}
 	}
 	e := heap.Pop(&s.queue).(*Event)
 	s.now = e.when

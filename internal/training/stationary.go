@@ -146,6 +146,11 @@ func (e *engine) runStationary() (*Report, error) {
 		})
 	}
 	e.sched.Run()
+	if err := e.sched.Err(); err != nil {
+		// The bound context expired mid-iteration (BindContext): the
+		// simulated state is mid-flight and the report would be bogus.
+		return nil, err
+	}
 	end := e.sched.Now()
 
 	// Critical replica: the one whose pre-DP work finishes last.
